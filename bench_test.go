@@ -1,0 +1,298 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure,
+// plus ablations for the design choices called out in DESIGN.md. Each
+// benchmark reports the headline metric(s) of its figure via
+// b.ReportMetric so a -bench run doubles as a results table:
+//
+//	go test -bench=. -benchmem
+package scmp_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"scmp/internal/core"
+	"scmp/internal/des"
+	"scmp/internal/experiment"
+	"scmp/internal/fabric"
+	"scmp/internal/mtree"
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// benchFig7Cfg is a reduced-width Fig. 7 sweep sized for benchmarking;
+// the full paper configuration runs via cmd/scmpsim.
+func benchFig7Cfg() experiment.Fig7Config {
+	return experiment.Fig7Config{
+		Nodes: 100, Alpha: 0.25, Beta: 0.2,
+		GroupSizes: []int{10, 50, 90},
+		Seeds:      3,
+	}
+}
+
+// BenchmarkFig7TreeQuality regenerates Fig. 7 (a–f): tree delay and tree
+// cost for DCDM/KMB/SPT across group sizes and constraint levels.
+func BenchmarkFig7TreeQuality(b *testing.B) {
+	var points []experiment.Fig7Point
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunFig7(benchFig7Cfg())
+	}
+	for _, p := range points {
+		if p.Level == "moderate" && p.GroupSize == 50 {
+			b.ReportMetric(p.TreeCost.Mean(), p.Algorithm+"_cost_g50")
+			b.ReportMetric(p.TreeDelay.Mean(), p.Algorithm+"_delay_g50")
+		}
+	}
+}
+
+func benchFig89Cfg() experiment.Fig89Config {
+	return experiment.Fig89Config{
+		GroupSizes:    []int{8, 24, 40},
+		Seeds:         2,
+		SimTime:       15,
+		DataRate:      1,
+		PruneLifetime: 10,
+		Topologies:    []string{experiment.TopoArpanet, experiment.TopoRand3},
+	}
+}
+
+// BenchmarkFig8Overhead regenerates Fig. 8 (a–f): data overhead and
+// protocol overhead per protocol.
+func BenchmarkFig8Overhead(b *testing.B) {
+	var points []experiment.Fig89Point
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunFig89(benchFig89Cfg())
+	}
+	for _, p := range points {
+		if p.Topology == experiment.TopoRand3 && p.GroupSize == 24 {
+			b.ReportMetric(p.DataOverhead.Mean(), p.Protocol+"_data_g24")
+			b.ReportMetric(p.ProtoOverhead.Mean(), p.Protocol+"_proto_g24")
+		}
+	}
+}
+
+// BenchmarkFig9Delay regenerates Fig. 9 (a–c): maximum end-to-end delay.
+func BenchmarkFig9Delay(b *testing.B) {
+	var points []experiment.Fig89Point
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunFig89(benchFig89Cfg())
+	}
+	for _, p := range points {
+		if p.Topology == experiment.TopoRand3 && p.GroupSize == 24 {
+			b.ReportMetric(p.MaxE2E.Mean()*1000, p.Protocol+"_maxdelay_ms_g24")
+		}
+	}
+}
+
+// BenchmarkFig7xFamilies regenerates the topology-sensitivity study:
+// DCDM/KMB cost and delay relative to SPT per topology family.
+func BenchmarkFig7xFamilies(b *testing.B) {
+	cfg := experiment.Fig7xConfig{GroupSize: 15, Seeds: 2, Kappa: 1.5}
+	var points []experiment.Fig7xPoint
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunFig7x(cfg)
+	}
+	for _, p := range points {
+		if p.Algorithm == "DCDM" {
+			b.ReportMetric(p.CostVsSPT.Mean(), p.Family+"_dcdm_costratio")
+		}
+	}
+}
+
+// BenchmarkPlacement regenerates the §IV-A placement study.
+func BenchmarkPlacement(b *testing.B) {
+	cfg := experiment.PlacementConfig{Nodes: 60, GroupSize: 15, Seeds: 3, Trials: 5, Kappa: 1.5}
+	var points []experiment.PlacementPoint
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunPlacement(cfg)
+	}
+	for _, p := range points {
+		b.ReportMetric(p.TreeCost.Mean(), p.Rule+"_cost")
+	}
+}
+
+// BenchmarkFabric measures the m-router fabric: configuring a fully
+// loaded 64-port sandwich network for simultaneous many-to-many groups
+// and routing every input (§II-B).
+func BenchmarkFabric(b *testing.B) {
+	fab, err := fabric.New(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := map[packet.GroupID]fabric.GroupConn{}
+	for g := 0; g < 8; g++ {
+		ins := make([]int, 8)
+		for i := range ins {
+			ins[i] = g*8 + i
+		}
+		groups[packet.GroupID(g+1)] = fabric.GroupConn{Inputs: ins, Output: g}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg, err := fab.Configure(groups)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for in := 0; in < 64; in++ {
+			cfg.Route(in)
+		}
+	}
+}
+
+// BenchmarkDCDMConstraint is the ablation for design decision 1 in
+// DESIGN.md: how the constraint multiplier kappa trades tree delay for
+// tree cost. It reports the cost and delay of the same member set under
+// kappa in {1, 1.25, 1.5, 2, inf}.
+func BenchmarkDCDMConstraint(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	wg, err := topology.Waxman(topology.DefaultWaxman(100), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := wg.Graph
+	spDelay := topology.NewAllPairs(g, topology.ByDelay)
+	spCost := topology.NewAllPairs(g, topology.ByCost)
+	var members []topology.NodeID
+	for _, v := range rng.Perm(g.N())[:40] {
+		if v != 0 {
+			members = append(members, topology.NodeID(v))
+		}
+	}
+	kappas := []struct {
+		name string
+		k    float64
+	}{
+		{"k1.00", 1}, {"k1.25", 1.25}, {"k1.50", 1.5}, {"k2.00", 2}, {"kinf", math.Inf(1)},
+	}
+	type result struct{ cost, delay float64 }
+	results := map[string]result{}
+	for i := 0; i < b.N; i++ {
+		for _, kp := range kappas {
+			d := mtree.NewDCDM(g, 0, kp.k, spDelay, spCost)
+			for _, m := range members {
+				d.Join(m)
+			}
+			results[kp.name] = result{d.Tree().Cost(), d.Tree().TreeDelay()}
+		}
+	}
+	for _, kp := range kappas {
+		b.ReportMetric(results[kp.name].cost, kp.name+"_cost")
+		b.ReportMetric(results[kp.name].delay, kp.name+"_delay")
+	}
+}
+
+// BenchmarkTreeVsBranch is the ablation for design decision 2 in
+// DESIGN.md: protocol overhead with the BRANCH optimisation on vs
+// forced whole-tree TREE packets for every join (the paper: "if the
+// change is small, using a TREE packet containing the whole tree
+// structure is too expensive").
+func BenchmarkTreeVsBranch(b *testing.B) {
+	g, err := topology.Random(topology.DefaultRandom(50, 3), rand.New(rand.NewSource(9)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g = g.ScaleDelays(1e-3)
+	rng := rand.New(rand.NewSource(10))
+	var members []topology.NodeID
+	for _, v := range rng.Perm(g.N())[:25] {
+		if v != 0 {
+			members = append(members, topology.NodeID(v))
+		}
+	}
+	run := func(disableBranch bool) (protoUnits float64, protoBytes int64) {
+		s := core.New(core.Config{MRouter: 0, Kappa: 1.5, DisableBranch: disableBranch})
+		n := netsim.New(g, s)
+		for i, m := range members {
+			m := m
+			n.Sched.At(des.Time(float64(i))*0.01, func() { n.HostJoin(m, 1) })
+		}
+		n.Run()
+		return n.Metrics.ProtocolOverhead(), n.Metrics.ProtocolBytes()
+	}
+	var withBranch, withoutBranch float64
+	var withBranchBytes, withoutBranchBytes int64
+	for i := 0; i < b.N; i++ {
+		withBranch, withBranchBytes = run(false)
+		withoutBranch, withoutBranchBytes = run(true)
+	}
+	b.ReportMetric(withBranch, "branch_proto_units")
+	b.ReportMetric(withoutBranch, "treeonly_proto_units")
+	b.ReportMetric(float64(withBranchBytes), "branch_proto_bytes")
+	b.ReportMetric(float64(withoutBranchBytes), "treeonly_proto_bytes")
+}
+
+// BenchmarkStateScalability regenerates the routing-state study (the
+// paper's §I scalability argument): per-router state entries at 8
+// groups x 4 senders, per protocol.
+func BenchmarkStateScalability(b *testing.B) {
+	cfg := experiment.StateConfig{
+		Nodes: 40, Degree: 4, Groups: []int{8},
+		Members: 6, Senders: 4, PacketsPer: 2, Seeds: 2,
+	}
+	var points []experiment.StatePoint
+	for i := 0; i < b.N; i++ {
+		points = experiment.RunState(cfg)
+	}
+	for _, p := range points {
+		b.ReportMetric(p.MaxState.Mean(), p.Protocol+"_maxstate_g8")
+	}
+}
+
+// BenchmarkMRouterLoad is the §II-B centralisation ablation: a burst of
+// joins hits the m-router with varying parallel service capacity; the
+// reported metric is the worst queueing wait (seconds) a JOIN suffered
+// before the m-router's tree computation started.
+func BenchmarkMRouterLoad(b *testing.B) {
+	g, err := topology.Random(topology.DefaultRandom(60, 4), rand.New(rand.NewSource(21)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g = g.ScaleDelays(1e-3)
+	run := func(processors int) float64 {
+		s := core.New(core.Config{MRouter: 0, ServiceTime: 0.02, Processors: processors})
+		n := netsim.New(g, s)
+		for v := 1; v <= 40; v++ {
+			n.HostJoin(topology.NodeID(v), 1)
+		}
+		n.Run()
+		return s.ServiceStats().MaxWait
+	}
+	results := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, p := range []int{1, 2, 4, 8} {
+			results[p] = run(p)
+		}
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.ReportMetric(results[p], fmt.Sprintf("maxwait_s_p%d", p))
+	}
+}
+
+// BenchmarkDVMRPPruneLifetime is the ablation for design decision 3:
+// DVMRP data overhead as a function of the prune timeout (shorter
+// timeouts re-flood more often).
+func BenchmarkDVMRPPruneLifetime(b *testing.B) {
+	cfgFor := func(lifetime des.Time) experiment.Fig89Config {
+		return experiment.Fig89Config{
+			GroupSizes: []int{16}, Seeds: 2, SimTime: 20, DataRate: 1,
+			PruneLifetime: lifetime, Topologies: []string{experiment.TopoRand3},
+		}
+	}
+	lifetimes := []des.Time{2, 5, 10, 30}
+	results := map[des.Time]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, lt := range lifetimes {
+			for _, p := range experiment.RunFig89(cfgFor(lt)) {
+				if p.Protocol == "DVMRP" {
+					results[lt] = p.DataOverhead.Mean()
+				}
+			}
+		}
+	}
+	b.ReportMetric(results[2], "dvmrp_data_t2")
+	b.ReportMetric(results[5], "dvmrp_data_t5")
+	b.ReportMetric(results[10], "dvmrp_data_t10")
+	b.ReportMetric(results[30], "dvmrp_data_t30")
+}

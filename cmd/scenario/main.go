@@ -1,0 +1,46 @@
+// Command scenario runs a simulation script (see internal/scenario for
+// the little language):
+//
+//	scenario lecture.scn       # run a script file
+//	scenario -                 # read the script from stdin
+//
+// Exit status is non-zero when the script fails to parse, an event is
+// invalid, or an "expect delivered" check finds missing or duplicated
+// deliveries.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"scmp/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: scenario <file.scn | ->")
+		os.Exit(2)
+	}
+	var src io.Reader
+	if os.Args[1] == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenario:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	script, err := scenario.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+	if err := script.Run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}

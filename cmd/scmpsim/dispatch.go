@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"scmp/internal/experiment"
+)
+
+// dispatch runs the selected experiment(s) and writes results as
+// paper-style tables or CSV.
+func dispatch(w io.Writer, name string, seeds int, quick bool, format string) error {
+	if format != "table" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	csv := format == "csv"
+	header := func(s string, args ...any) {
+		if !csv {
+			fmt.Fprintf(w, s, args...)
+		}
+	}
+
+	fig7cfg := func() experiment.Fig7Config {
+		cfg := experiment.DefaultFig7()
+		if quick {
+			cfg.Nodes, cfg.GroupSizes, cfg.Seeds = 50, []int{10, 30, 50}, 3
+		}
+		if seeds > 0 {
+			cfg.Seeds = seeds
+		}
+		return cfg
+	}
+	fig89cfg := func() experiment.Fig89Config {
+		cfg := experiment.DefaultFig89()
+		if quick {
+			cfg.GroupSizes, cfg.Seeds, cfg.SimTime = []int{8, 24, 40}, 3, 10
+		}
+		if seeds > 0 {
+			cfg.Seeds = seeds
+		}
+		return cfg
+	}
+	placementCfg := func() experiment.PlacementConfig {
+		cfg := experiment.DefaultPlacement()
+		if quick {
+			cfg.Seeds, cfg.Trials, cfg.Nodes = 2, 4, 50
+		}
+		if seeds > 0 {
+			cfg.Seeds = seeds
+		}
+		return cfg
+	}
+	stateCfg := func() experiment.StateConfig {
+		cfg := experiment.DefaultState()
+		if quick {
+			cfg.Groups, cfg.Seeds, cfg.Nodes = []int{1, 4}, 2, 30
+		}
+		if seeds > 0 {
+			cfg.Seeds = seeds
+		}
+		return cfg
+	}
+	concentrationCfg := func() experiment.ConcentrationConfig {
+		cfg := experiment.DefaultConcentration()
+		if quick {
+			cfg.Seeds, cfg.Nodes, cfg.Rounds = 2, 30, 2
+		}
+		if seeds > 0 {
+			cfg.Seeds = seeds
+		}
+		return cfg
+	}
+
+	runFig7 := func() error {
+		cfg := fig7cfg()
+		header("== Fig. 7: multicast tree quality (Waxman n=%d, alpha=%.2f, beta=%.2f, %d seeds) ==\n",
+			cfg.Nodes, cfg.Alpha, cfg.Beta, cfg.Seeds)
+		points := experiment.RunFig7(cfg)
+		if csv {
+			return experiment.WriteFig7CSV(w, points)
+		}
+		experiment.WriteFig7(w, points)
+		return nil
+	}
+	runFig7x := func() error {
+		cfg := experiment.DefaultFig7x()
+		if quick {
+			cfg.Seeds, cfg.GroupSize = 2, 12
+		}
+		if seeds > 0 {
+			cfg.Seeds = seeds
+		}
+		header("== Tree quality across topology families (DCDM kappa=%.1f, group %d) ==\n", cfg.Kappa, cfg.GroupSize)
+		points := experiment.RunFig7x(cfg)
+		if csv {
+			return experiment.WriteFig7xCSV(w, points)
+		}
+		experiment.WriteFig7x(w, points)
+		return nil
+	}
+	runPlacement := func() error {
+		cfg := placementCfg()
+		header("== m-router placement heuristics (Waxman n=%d, group %d) ==\n", cfg.Nodes, cfg.GroupSize)
+		points := experiment.RunPlacement(cfg)
+		if csv {
+			return experiment.WritePlacementCSV(w, points)
+		}
+		experiment.WritePlacement(w, points)
+		return nil
+	}
+	runState := func() error {
+		cfg := stateCfg()
+		header("== Routing-state scalability (n=%d, %d members, %d senders per group) ==\n",
+			cfg.Nodes, cfg.Members, cfg.Senders)
+		points := experiment.RunState(cfg)
+		if csv {
+			return experiment.WriteStateCSV(w, points)
+		}
+		experiment.WriteState(w, points)
+		return nil
+	}
+	runConcentration := func() error {
+		cfg := concentrationCfg()
+		header("== Traffic concentration (core jam vs regional m-routers) ==\n")
+		points := experiment.RunConcentration(cfg)
+		if csv {
+			return experiment.WriteConcentrationCSV(w, points)
+		}
+		experiment.WriteConcentration(w, points)
+		return nil
+	}
+
+	switch name {
+	case "fig7":
+		return runFig7()
+	case "fig8":
+		cfg := fig89cfg()
+		header("== Fig. 8: data and protocol overhead (%d seeds, %.0f s runs) ==\n", cfg.Seeds, cfg.SimTime)
+		points := experiment.RunFig89(cfg)
+		if csv {
+			return experiment.WriteFig89CSV(w, points)
+		}
+		experiment.WriteFig8(w, points)
+		return nil
+	case "fig9":
+		cfg := fig89cfg()
+		header("== Fig. 9: maximum end-to-end delay (%d seeds, %.0f s runs) ==\n", cfg.Seeds, cfg.SimTime)
+		points := experiment.RunFig89(cfg)
+		if csv {
+			return experiment.WriteFig89CSV(w, points)
+		}
+		experiment.WriteFig9(w, points)
+		return nil
+	case "fig7x":
+		return runFig7x()
+	case "placement":
+		return runPlacement()
+	case "state":
+		return runState()
+	case "concentration":
+		return runConcentration()
+	case "all":
+		if err := runFig7(); err != nil {
+			return err
+		}
+		cfg := fig89cfg()
+		points := experiment.RunFig89(cfg)
+		if csv {
+			if err := experiment.WriteFig89CSV(w, points); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(w, "\n== Fig. 8: data and protocol overhead (%d seeds, %.0f s runs) ==\n", cfg.Seeds, cfg.SimTime)
+			experiment.WriteFig8(w, points)
+			fmt.Fprintf(w, "\n== Fig. 9: maximum end-to-end delay ==\n")
+			experiment.WriteFig9(w, points)
+		}
+		header("\n")
+		if err := runFig7x(); err != nil {
+			return err
+		}
+		header("\n")
+		if err := runPlacement(); err != nil {
+			return err
+		}
+		header("\n")
+		if err := runState(); err != nil {
+			return err
+		}
+		header("\n")
+		return runConcentration()
+	default:
+		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration or all)", name)
+	}
+}

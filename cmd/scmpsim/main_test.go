@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDispatchQuickEachExperiment(t *testing.T) {
+	for _, exp := range []string{"placement"} {
+		var buf bytes.Buffer
+		if err := dispatch(&buf, exp, 1, true, "table"); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: no output", exp)
+		}
+	}
+}
+
+func TestDispatchFig7Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dispatch(&buf, "fig7", 1, true, "table"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 7", "DCDM", "KMB", "SPT", "tightest"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestDispatchFig8Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dispatch(&buf, "fig8", 1, true, "table"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Data overhead", "Protocol overhead", "SCMP", "DVMRP"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 output missing %q", want)
+		}
+	}
+}
+
+func TestDispatchFig9Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dispatch(&buf, "fig9", 1, true, "table"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Maximum end-to-end delay") {
+		t.Fatal("fig9 output incomplete")
+	}
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	if err := dispatch(&bytes.Buffer{}, "fig99", 0, true, "table"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "res.txt")
+	if err := run([]string{"-experiment", "placement", "-quick", "-out", out}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "placement") {
+		t.Fatalf("file content: %q", data)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

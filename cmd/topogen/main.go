@@ -1,0 +1,86 @@
+// Command topogen generates the evaluation topologies and prints them as
+// Graphviz DOT or a plain edge list:
+//
+//	topogen -kind waxman -n 100 -seed 1            # paper's Fig. 7 model
+//	topogen -kind random -n 50 -degree 3 -seed 2   # GT-ITM-style flat random
+//	topogen -kind arpanet                          # fixed ARPANET map
+//	topogen -kind waxman -format edges             # "u v delay cost" lines
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"scmp/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	kind := fs.String("kind", "waxman", "waxman | random | arpanet | transitstub")
+	n := fs.Int("n", 100, "node count (waxman, random)")
+	alpha := fs.Float64("alpha", 0.25, "Waxman alpha")
+	beta := fs.Float64("beta", 0.2, "Waxman beta")
+	degree := fs.Float64("degree", 3, "target average degree (random)")
+	seed := fs.Int64("seed", 1, "random seed")
+	format := fs.String("format", "dot", "dot | edges")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *topology.Graph
+	switch *kind {
+	case "waxman":
+		cfg := topology.WaxmanConfig{N: *n, Alpha: *alpha, Beta: *beta, GridSize: 32767, Connect: true}
+		wg, err := topology.Waxman(cfg, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		g = wg.Graph
+	case "random":
+		rg, err := topology.Random(topology.DefaultRandom(*n, *degree), rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		g = rg
+	case "arpanet":
+		g = topology.Arpanet()
+	case "transitstub":
+		tg, _, err := topology.TransitStub(topology.DefaultTransitStub(), rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		g = tg
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	switch *format {
+	case "dot":
+		return topology.WriteDOT(w, g, *kind, nil)
+	case "edges":
+		fmt.Fprintf(w, "# %s n=%d m=%d avg_degree=%.2f\n", *kind, g.N(), g.M(), g.AvgDegree())
+		for u := 0; u < g.N(); u++ {
+			for _, l := range g.Neighbors(topology.NodeID(u)) {
+				if topology.NodeID(u) < l.To {
+					fmt.Fprintf(w, "%d %d %.3f %.3f\n", u, l.To, l.Delay, l.Cost)
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKinds(t *testing.T) {
+	for _, kind := range []string{"waxman", "random", "arpanet", "transitstub"} {
+		var buf bytes.Buffer
+		args := []string{"-kind", kind, "-n", "20"}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(buf.String(), "graph") {
+			t.Fatalf("%s: no DOT output", kind)
+		}
+	}
+}
+
+func TestEdgesFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "random", "-n", "10", "-degree", "3", "-format", "edges"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "# random") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 10 nodes at degree 3 -> 15 edges.
+	if len(lines)-1 != 15 {
+		t.Fatalf("edges = %d, want 15", len(lines)-1)
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Fields(l)) != 4 {
+			t.Fatalf("edge line %q", l)
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	gen := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-kind", "waxman", "-n", "15", "-seed", "9", "-format", "edges"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if gen() != gen() {
+		t.Fatal("same seed produced different topologies")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nope"},
+		{"-format", "nope"},
+		{"-kind", "waxman", "-n", "0"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package scmp reproduces "A Service-Centric Multicast Architecture and
+// Routing Protocol" (Yang, Wang, Yang; ICPP 2006) as a Go library: the
+// SCMP protocol with its m-router/i-router split and DCDM tree
+// algorithm, the DVMRP/MOSPF/CBT baselines, the m-router's sandwich
+// switching fabric, a discrete-event network simulator to run them on,
+// and the full evaluation harness for the paper's Figs. 7-9.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmark suite in
+// bench_test.go regenerates every figure:
+//
+//	go test -bench=. -benchmem
+package scmp

@@ -1,0 +1,3 @@
+module scmp
+
+go 1.22

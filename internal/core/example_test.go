@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+
+	"scmp/internal/core"
+	"scmp/internal/netsim"
+	"scmp/internal/topology"
+)
+
+// rails builds the documentation topology: node 0 is the m-router, a
+// fast expensive rail 0-1-2 and a slow cheap rail 0-3-2, with a member
+// stub 2-4.
+func rails() *topology.Graph {
+	g := topology.New(5)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(1, 2, 1, 10)
+	g.MustAddEdge(0, 3, 6, 1)
+	g.MustAddEdge(3, 2, 6, 1)
+	g.MustAddEdge(2, 4, 1, 1)
+	return g
+}
+
+// Example runs one SCMP session end to end: a subnet joins, the
+// m-router grafts it (JOIN up, BRANCH down), and data from an off-tree
+// source is encapsulated to the m-router and forwarded down the tree.
+func Example() {
+	scmp := core.New(core.Config{MRouter: 0, Kappa: 1.5})
+	net := netsim.New(rails(), scmp)
+
+	net.HostJoin(4, 42)
+	net.Run()
+	tree := scmp.GroupTree(42)
+	fmt.Printf("tree: cost=%.0f delay=%.0f members=%v\n",
+		tree.Cost(), tree.TreeDelay(), tree.Members())
+
+	seq := net.SendData(3, 42, 1000) // node 3 is off the tree
+	net.Run()
+	missing, dupes := net.CheckDelivery(seq)
+	fmt.Println("missing:", len(missing), "duplicates:", len(dupes))
+	// Output:
+	// tree: cost=21 delay=3 members=[4]
+	// missing: 0 duplicates: 0
+}
+
+// ExampleSCMP_Entry inspects the self-routing state the TREE/BRANCH
+// packets installed: each on-tree router holds the paper's
+// (group, upstream, downstream) triple.
+func ExampleSCMP_Entry() {
+	scmp := core.New(core.Config{MRouter: 0, Kappa: 1.5})
+	net := netsim.New(rails(), scmp)
+	net.HostJoin(4, 42)
+	net.Run()
+	for _, v := range []topology.NodeID{0, 1, 2, 4} {
+		e, _ := scmp.Entry(v, 42)
+		fmt.Printf("router %d: upstream=%2d downstream=%v local=%v\n",
+			v, e.Upstream, e.Downstream, e.HasLocal)
+	}
+	// Output:
+	// router 0: upstream=-1 downstream=[1] local=false
+	// router 1: upstream= 0 downstream=[2] local=false
+	// router 2: upstream= 1 downstream=[4] local=false
+	// router 4: upstream= 2 downstream=[] local=true
+}
+
+// ExampleSCMP_Failover promotes the hot-standby secondary after the
+// primary m-router fails: trees are rebuilt rooted at the standby from
+// the replicated membership.
+func ExampleSCMP_Failover() {
+	g := topology.New(5)
+	g.MustAddEdge(1, 0, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	g.MustAddEdge(2, 3, 1, 1)
+	g.MustAddEdge(3, 4, 1, 1)
+	scmp := core.New(core.Config{MRouter: 1, Standby: 2, Kappa: 1.5})
+	net := netsim.New(g, scmp)
+	net.HostJoin(4, 7)
+	net.Run()
+	fmt.Println("before: m-router", scmp.MRouter(), "root", scmp.GroupTree(7).Root())
+
+	scmp.Failover()
+	net.Run()
+	fmt.Println("after:  m-router", scmp.MRouter(), "root", scmp.GroupTree(7).Root())
+
+	seq := net.SendData(0, 7, 100)
+	net.Run()
+	missing, _ := net.CheckDelivery(seq)
+	fmt.Println("post-failover missing:", len(missing))
+	// Output:
+	// before: m-router 1 root 1
+	// after:  m-router 2 root 2
+	// post-failover missing: 0
+}

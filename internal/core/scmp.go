@@ -1,0 +1,858 @@
+// Package core implements SCMP, the Service-Centric Multicast Protocol —
+// the paper's primary contribution (§II–III).
+//
+// One powerful router per domain, the m-router, holds the complete
+// topology and group membership. Designated routers unicast JOIN/LEAVE
+// messages to it; it updates a delay-constrained minimum-cost shared
+// tree (the DCDM algorithm) and installs the tree in the network with
+// self-routing TREE packets (whole subtree, recursive format) or BRANCH
+// packets (single new path). The tree is bi-directional: on-tree sources
+// send straight along it; off-tree sources unicast-encapsulate data to
+// the m-router, which decapsulates and forwards down the tree.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scmp/internal/des"
+	"scmp/internal/mtree"
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/session"
+	"scmp/internal/topology"
+)
+
+// noUpstream marks the m-router's (absent) upstream.
+const noUpstream topology.NodeID = -1
+
+// entry is one multicast routing entry: the paper's triple
+// (group id, upstream, downstream) plus the local-interface flag and
+// the distribution version used to discard stale self-routing packets.
+type entry struct {
+	onTree       bool
+	upstream     topology.NodeID
+	downstream   map[topology.NodeID]bool
+	hasLocal     bool // >=1 member interface on the local subnet
+	pendingLocal bool // IGMP report seen, tree installation still in flight
+	version      uint64
+}
+
+func newEntry() *entry {
+	return &entry{upstream: noUpstream, downstream: make(map[topology.NodeID]bool)}
+}
+
+// groupState is the m-router's per-group state: the DCDM tree, the
+// monotonically increasing distribution version, and the accounting
+// session the group's traffic is charged to (§II-C).
+type groupState struct {
+	dcdm    *mtree.DCDM
+	version uint64
+	session session.SessionID
+}
+
+// Config parameterises an SCMP domain.
+type Config struct {
+	// MRouter is the m-router's node. Its address is known to every
+	// router in the domain in advance (configuration file), per §II-D.
+	MRouter topology.NodeID
+	// Kappa is DCDM's delay-constraint multiplier (1 = tightest;
+	// +Inf = loosest). Values below 1 are rejected; 0 means 1.
+	Kappa float64
+	// DelayBudget, when positive, imposes an absolute QoS bound on every
+	// member's multicast delay (the paper's "QoS constraint on maximum
+	// end-to-end delay"), overriding Kappa. Members that cannot meet it
+	// are served best-effort over their shortest-delay path.
+	DelayBudget float64
+	// DisableBranch forces whole-tree TREE packets even for pure grafts
+	// (the BRANCH-optimisation ablation).
+	DisableBranch bool
+	// ServiceTime is how long one control request (a JOIN or LEAVE,
+	// including the tree computation) occupies one of the m-router's
+	// processors (§II-B). Zero — the default — makes control processing
+	// instantaneous.
+	ServiceTime float64
+	// Processors is the m-router's parallel service capacity; values
+	// below 1 mean 1. Only meaningful with a ServiceTime.
+	Processors int
+	// MRouters optionally lists several m-routers for the domain (§II-A:
+	// "An ISP may own more than one m-routers in the Internet for
+	// serving its customers in different geographic regions"; "our
+	// approach can be easily extended to multiple m-routers per
+	// domain"). When non-empty it overrides MRouter; each group is
+	// homed on MRouters[group mod len(MRouters)], a static published
+	// assignment every router's configuration file carries. Standby
+	// failover is only supported in single-m-router mode.
+	MRouters []topology.NodeID
+	// Standby optionally names a secondary m-router (§V: "a hot standby
+	// system, in which there is a secondary m-router concurrently
+	// running with the primary"). The primary replicates membership
+	// changes to it; Failover promotes it. A non-positive value (the
+	// zero value included) disables the feature, so node 0 cannot serve
+	// as the standby — place the m-routers elsewhere if you need one.
+	Standby topology.NodeID
+}
+
+// SCMP is the protocol instance managing every router in a domain.
+type SCMP struct {
+	cfg     Config
+	homes   []topology.NodeID // the m-router(s) currently providing service
+	net     *netsim.Network
+	spDelay topology.AllPairs
+	spCost  topology.AllPairs
+	groups  map[packet.GroupID]*groupState
+	entries map[topology.NodeID]map[packet.GroupID]*entry
+	// replica is the standby's copy of the membership database, fed by
+	// REPLICATE packets from the primary.
+	replica map[packet.GroupID]map[topology.NodeID]bool
+	acct    *session.Manager
+	service *serviceCenter
+	// epoch counts failovers; distribution versions encode it in their
+	// high 32 bits so entries installed before a failover are never
+	// trusted as a source's on-tree fast path afterwards.
+	epoch uint64
+}
+
+var _ netsim.Protocol = (*SCMP)(nil)
+
+// New returns an SCMP instance; attach it by passing it to netsim.New.
+func New(cfg Config) *SCMP {
+	if cfg.Kappa == 0 {
+		cfg.Kappa = 1
+	}
+	if cfg.Kappa < 1 {
+		panic(fmt.Sprintf("core: Kappa %g < 1", cfg.Kappa))
+	}
+	if cfg.Standby <= 0 {
+		cfg.Standby = -1 // disabled
+	}
+	homes := []topology.NodeID{cfg.MRouter}
+	if len(cfg.MRouters) > 0 {
+		homes = append([]topology.NodeID(nil), cfg.MRouters...)
+		cfg.MRouter = homes[0]
+		if cfg.Standby >= 0 {
+			panic("core: hot standby requires single-m-router mode")
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, h := range homes {
+			if seen[h] {
+				panic(fmt.Sprintf("core: duplicate m-router %d", h))
+			}
+			seen[h] = true
+		}
+	}
+	if cfg.Standby == cfg.MRouter {
+		panic("core: standby must differ from the primary m-router")
+	}
+	return &SCMP{
+		cfg:     cfg,
+		homes:   homes,
+		groups:  make(map[packet.GroupID]*groupState),
+		entries: make(map[topology.NodeID]map[packet.GroupID]*entry),
+		replica: make(map[packet.GroupID]map[topology.NodeID]bool),
+	}
+}
+
+// home returns the m-router serving group g: the published static
+// assignment MRouters[g mod len] (a single-m-router domain always maps
+// to that m-router).
+func (s *SCMP) home(g packet.GroupID) topology.NodeID {
+	return s.homes[int(g)%len(s.homes)]
+}
+
+// isHome reports whether node is the m-router serving g.
+func (s *SCMP) isHome(node topology.NodeID, g packet.GroupID) bool {
+	return node == s.home(g)
+}
+
+// HomeOf exposes the group-to-m-router assignment (for tools/tests).
+func (s *SCMP) HomeOf(g packet.GroupID) topology.NodeID { return s.home(g) }
+
+// Name implements netsim.Protocol.
+func (s *SCMP) Name() string { return "SCMP" }
+
+// Attach implements netsim.Protocol: it verifies the m-router exists and
+// precomputes the all-pairs path tables the m-router's DCDM uses (the
+// m-router "possesses all the information on the network").
+func (s *SCMP) Attach(n *netsim.Network) {
+	if s.net != nil {
+		panic("core: SCMP attached twice")
+	}
+	for _, h := range s.homes {
+		if h < 0 || int(h) >= n.G.N() {
+			panic(fmt.Sprintf("core: m-router %d out of range", h))
+		}
+	}
+	if s.cfg.Standby >= 0 && int(s.cfg.Standby) >= n.G.N() {
+		panic(fmt.Sprintf("core: standby %d out of range", s.cfg.Standby))
+	}
+	s.net = n
+	s.spDelay = topology.NewAllPairs(n.G, topology.ByDelay)
+	s.spCost = topology.NewAllPairs(n.G, topology.ByCost)
+	s.acct = session.NewManager(n.Sched, 0xE0000000, 1<<20)
+	s.service = newServiceCenter(n.Sched, des.Time(s.cfg.ServiceTime), s.cfg.Processors)
+}
+
+// MRouter returns the node currently acting as the (first) m-router —
+// the standby after a failover.
+func (s *SCMP) MRouter() topology.NodeID { return s.homes[0] }
+
+// Accounting exposes the m-router's service database (§II-C): address
+// allocation, membership on-time tracking, session records.
+func (s *SCMP) Accounting() *session.Manager { return s.acct }
+
+// GroupTree returns the m-router's current tree for g (nil if the group
+// has no state yet). Read-only.
+func (s *SCMP) GroupTree(g packet.GroupID) *mtree.Tree {
+	gs := s.groups[g]
+	if gs == nil {
+		return nil
+	}
+	return gs.dcdm.Tree()
+}
+
+func (s *SCMP) group(g packet.GroupID) *groupState {
+	gs := s.groups[g]
+	if gs == nil {
+		kappa := s.cfg.Kappa
+		if kappa == 0 {
+			kappa = 1
+		}
+		if math.IsInf(kappa, 1) {
+			kappa = math.Inf(1)
+		}
+		gs = &groupState{dcdm: mtree.NewDCDM(s.net.G, s.home(g), kappa, s.spDelay, s.spCost)}
+		if s.cfg.DelayBudget > 0 {
+			gs.dcdm.SetQoSBudget(s.cfg.DelayBudget)
+		}
+		s.groups[g] = gs
+	}
+	return gs
+}
+
+func (s *SCMP) entry(node topology.NodeID, g packet.GroupID) *entry {
+	byGroup := s.entries[node]
+	if byGroup == nil {
+		byGroup = make(map[packet.GroupID]*entry)
+		s.entries[node] = byGroup
+	}
+	e := byGroup[g]
+	if e == nil {
+		e = newEntry()
+		byGroup[g] = e
+	}
+	return e
+}
+
+func (s *SCMP) peekEntry(node topology.NodeID, g packet.GroupID) *entry {
+	return s.entries[node][g]
+}
+
+// EntryView is a read-only snapshot of a router's multicast routing
+// entry, for tests and tooling.
+type EntryView struct {
+	OnTree     bool
+	Upstream   topology.NodeID
+	Downstream []topology.NodeID
+	HasLocal   bool
+}
+
+// Entry returns a snapshot of node's routing entry for g; ok is false
+// when the router holds no state for the group.
+func (s *SCMP) Entry(node topology.NodeID, g packet.GroupID) (EntryView, bool) {
+	e := s.peekEntry(node, g)
+	if e == nil {
+		return EntryView{}, false
+	}
+	v := EntryView{OnTree: e.onTree, Upstream: e.upstream, HasLocal: e.hasLocal}
+	for d := range e.downstream {
+		v.Downstream = append(v.Downstream, d)
+	}
+	sort.Slice(v.Downstream, func(i, j int) bool { return v.Downstream[i] < v.Downstream[j] })
+	return v, true
+}
+
+// StateEntries returns the number of live multicast routing entries a
+// router holds — one per group it is on the tree of (or has members
+// for). SCMP's per-router state scales with group count only, never
+// with source count; contrast the SPT-based protocols (§I: SPT routing
+// "introduces the scalability problem ... since routers need to store
+// routing information for each (source, group) pair").
+func (s *SCMP) StateEntries(node topology.NodeID) int {
+	count := 0
+	for _, e := range s.entries[node] {
+		if e.onTree || e.hasLocal || e.pendingLocal {
+			count++
+		}
+	}
+	return count
+}
+
+// --- membership (§III-B, §III-C) --------------------------------------
+
+// HostJoin implements the member joining procedure at the DR.
+func (s *SCMP) HostJoin(node topology.NodeID, g packet.GroupID) {
+	if s.isHome(node, g) {
+		// The m-router is its own DR: no JOIN message crosses the network.
+		s.mrouterJoin(node, g)
+		e := s.entry(node, g)
+		e.onTree, e.hasLocal = true, true
+		return
+	}
+	e := s.entry(node, g)
+	if e.onTree {
+		// Already on the tree as a relay: mark the interface; the paper
+		// still sends a JOIN for accounting/billing when this is the
+		// first local interface.
+		if !e.hasLocal {
+			e.hasLocal = true
+			s.sendControl(node, g, packet.Join, node)
+		}
+		return
+	}
+	// Off tree: remember the interface for when the TREE/BRANCH packet
+	// arrives, and ask the m-router to extend the tree.
+	e.pendingLocal = true
+	s.sendControl(node, g, packet.Join, node)
+}
+
+// HostLeave implements the member leaving procedure at the DR.
+func (s *SCMP) HostLeave(node topology.NodeID, g packet.GroupID) {
+	e := s.peekEntry(node, g)
+	if e == nil {
+		return
+	}
+	e.hasLocal = false
+	e.pendingLocal = false
+	if s.isHome(node, g) {
+		s.mrouterLeave(node, g)
+		return
+	}
+	// Always tell the m-router (accounting); additionally prune when the
+	// DR became a leaf.
+	s.sendControl(node, g, packet.Leave, node)
+	if e.onTree && len(e.downstream) == 0 {
+		s.sendPrune(node, g, e)
+	}
+}
+
+// sendControl unicasts a small control packet from node to the m-router.
+func (s *SCMP) sendControl(node topology.NodeID, g packet.GroupID, kind packet.Kind, about topology.NodeID) {
+	s.net.SendUnicast(node, &netsim.Packet{
+		Kind:  kind,
+		Group: g,
+		Src:   about,
+		Dst:   s.home(g),
+		Size:  packet.ControlSize,
+	})
+}
+
+// sendPrune tears this router's branch: it forgets its entry and tells
+// its upstream.
+func (s *SCMP) sendPrune(node topology.NodeID, g packet.GroupID, e *entry) {
+	up := e.upstream
+	e.onTree = false
+	e.upstream = noUpstream
+	if up == noUpstream {
+		return
+	}
+	s.net.SendLink(node, up, &netsim.Packet{
+		Kind:  packet.Prune,
+		Group: g,
+		Src:   node,
+		Size:  packet.ControlSize,
+	})
+}
+
+// --- m-router logic (§III-D, §III-E) -----------------------------------
+
+// mrouterJoin runs DCDM for a join, records it in the service database,
+// replicates it to the standby, and distributes the tree change.
+func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
+	gs := s.group(g)
+	s.acct.Adopt(g, fmt.Sprintf("group-%d", g))
+	if gs.session == 0 {
+		if id, err := s.acct.StartSession(g, 0, nil); err == nil {
+			gs.session = id
+		}
+	}
+	_ = s.acct.MemberJoined(g, member)
+	s.replicate(g, member, true)
+	res := gs.dcdm.Join(member)
+	s.syncMRouterEntry(g, gs)
+	if res.AlreadyOn {
+		// Tree unchanged — the member was already a relay. Refresh its
+		// path with an (idempotent) BRANCH anyway: the DR may have been
+		// flushed by a restructure and is waiting to re-home.
+		gs.version++
+		s.distributeBranch(g, gs, member)
+		return
+	}
+	gs.version++
+	if res.Restructured || s.cfg.DisableBranch {
+		s.distributeTree(g, gs)
+		return
+	}
+	s.distributeBranch(g, gs, member)
+}
+
+// mrouterLeave runs DCDM for a leave. The network-side prune is driven
+// by the leaving DR's hop-by-hop PRUNE; the m-router only updates its
+// own copy of the tree.
+func (s *SCMP) mrouterLeave(member topology.NodeID, g packet.GroupID) {
+	gs := s.groups[g]
+	if gs == nil {
+		return
+	}
+	_ = s.acct.MemberLeft(g, member)
+	s.replicate(g, member, false)
+	gs.dcdm.Leave(member)
+	s.syncMRouterEntry(g, gs)
+}
+
+// replicate streams one membership change to the hot-standby secondary
+// (§V): "a secondary m-router concurrently running with the primary".
+func (s *SCMP) replicate(g packet.GroupID, member topology.NodeID, joined bool) {
+	if s.cfg.Standby < 0 || s.epoch > 0 {
+		return // no standby, or the standby itself is already active
+	}
+	payload := []byte{0}
+	if joined {
+		payload[0] = 1
+	}
+	s.net.SendUnicast(s.homes[0], &netsim.Packet{
+		Kind:    packet.Replicate,
+		Group:   g,
+		Src:     member,
+		Dst:     s.cfg.Standby,
+		Payload: payload,
+		Size:    packet.ControlSize,
+	})
+}
+
+// handleReplicate applies a membership change to the standby's replica
+// database.
+func (s *SCMP) handleReplicate(pkt *netsim.Packet) {
+	if len(pkt.Payload) != 1 {
+		return
+	}
+	members := s.replica[pkt.Group]
+	if members == nil {
+		members = make(map[topology.NodeID]bool)
+		s.replica[pkt.Group] = members
+	}
+	if pkt.Payload[0] == 1 {
+		members[pkt.Src] = true
+	} else {
+		delete(members, pkt.Src)
+	}
+}
+
+// ReplicaMembers returns the standby's replicated member set for g,
+// sorted — the state a failover will rebuild trees from.
+func (s *SCMP) ReplicaMembers(g packet.GroupID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(s.replica[g]))
+	for m := range s.replica[g] {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// failoverEpoch separates pre- and post-failover distribution versions
+// so every packet from the new m-router outranks stale ones.
+const failoverEpoch = uint64(1) << 32
+
+// Failover promotes the hot-standby secondary to active m-router after
+// a primary failure (§V: "when the primary m-router fails, the
+// secondary m-router will take over the job automatically"). The new
+// m-router rebuilds every group's tree rooted at itself from the
+// replicated membership and installs the trees with TREE packets;
+// i-routers re-home on receipt, pruning their old branches toward the
+// dead primary. Subsequent JOIN/LEAVE/encapsulated traffic flows to the
+// new m-router (every router's configuration lists both addresses).
+func (s *SCMP) Failover() {
+	if s.cfg.Standby < 0 {
+		panic("core: Failover without a configured standby")
+	}
+	if s.homes[0] == s.cfg.Standby {
+		return // already failed over
+	}
+	// The dead primary's forwarding entries die with it.
+	for g, e := range s.entries[s.homes[0]] {
+		e.onTree = false
+		e.downstream = make(map[topology.NodeID]bool)
+		_ = g
+	}
+	s.homes[0] = s.cfg.Standby
+	s.epoch++
+	old := s.groups
+	s.groups = make(map[packet.GroupID]*groupState)
+	for g, members := range s.replica {
+		if len(members) == 0 {
+			continue
+		}
+		gs := s.group(g) // rooted at the new active m-router
+		gs.version = s.epoch * failoverEpoch
+		if prev := old[g]; prev != nil && prev.version >= gs.version {
+			gs.version = prev.version + failoverEpoch
+		}
+		for _, m := range s.ReplicaMembers(g) {
+			if m == s.homes[0] {
+				e := s.entry(m, g)
+				e.onTree, e.hasLocal = true, true
+			}
+			gs.dcdm.Join(m)
+		}
+		s.syncMRouterEntry(g, gs)
+		gs.version++
+		s.distributeTree(g, gs)
+	}
+}
+
+// syncMRouterEntry mirrors the DCDM tree's root children into the
+// m-router's own forwarding entry.
+func (s *SCMP) syncMRouterEntry(g packet.GroupID, gs *groupState) {
+	e := s.entry(s.home(g), g)
+	e.onTree = true
+	e.upstream = noUpstream
+	down := make(map[topology.NodeID]bool)
+	for _, c := range gs.dcdm.Tree().Children(s.home(g)) {
+		down[c] = true
+	}
+	e.downstream = down
+	e.version = gs.version
+}
+
+// distributeTree sends one self-routing TREE packet per child subtree of
+// the m-router (§III-E).
+func (s *SCMP) distributeTree(g packet.GroupID, gs *groupState) {
+	tree := gs.dcdm.Tree()
+	for _, c := range tree.Children(s.home(g)) {
+		payload := packet.EncodeSubtree(packet.BuildSubtree(tree, c))
+		s.net.SendLink(s.home(g), c, &netsim.Packet{
+			Kind:    packet.Tree,
+			Group:   g,
+			Src:     s.home(g),
+			Version: gs.version,
+			Payload: payload,
+			Size:    len(payload) + 8,
+		})
+	}
+}
+
+// distributeBranch sends a BRANCH packet carrying the tree path from the
+// m-router to the new member.
+func (s *SCMP) distributeBranch(g packet.GroupID, gs *groupState, member topology.NodeID) {
+	rev := gs.dcdm.Tree().PathToRoot(member) // member ... root
+	if rev == nil {
+		// Defensive: fall back to a full distribution.
+		s.distributeTree(g, gs)
+		return
+	}
+	path := make([]topology.NodeID, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	// path = root, r1, ..., member. The packet sent to r1 carries
+	// (r1, ..., member), the paper's format.
+	if len(path) < 2 {
+		return
+	}
+	payload := packet.EncodeBranch(path[1:])
+	s.net.SendLink(s.home(g), path[1], &netsim.Packet{
+		Kind:    packet.Branch,
+		Group:   g,
+		Src:     s.home(g),
+		Version: gs.version,
+		Payload: payload,
+		Size:    len(payload) + 8,
+	})
+}
+
+// --- packet processing --------------------------------------------------
+
+// HandlePacket implements netsim.Protocol.
+func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
+	switch pkt.Kind {
+	case packet.Join:
+		if s.isHome(node, pkt.Group) {
+			member, g := pkt.Src, pkt.Group
+			s.service.submit(func() { s.mrouterJoin(member, g) })
+		}
+	case packet.Leave:
+		if s.isHome(node, pkt.Group) {
+			member, g := pkt.Src, pkt.Group
+			s.service.submit(func() { s.mrouterLeave(member, g) })
+		}
+	case packet.Replicate:
+		if node == s.cfg.Standby {
+			s.handleReplicate(pkt)
+		}
+	case packet.Tree:
+		s.handleTree(node, pkt)
+	case packet.Branch:
+		s.handleBranch(node, pkt)
+	case packet.Prune:
+		s.handlePrune(node, pkt)
+	case packet.Flush:
+		s.handleFlush(node, pkt)
+	case packet.Data:
+		s.handleData(node, pkt)
+	case packet.EncapData:
+		s.handleEncap(node, pkt)
+	}
+}
+
+// handleTree implements the TREE packet processing algorithm (§III-E):
+// adopt the sender as upstream, replace the downstream set with the
+// packet's children, split the packet and forward one subpacket per
+// child. Downstream routers absent from the new subtree are flushed.
+func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
+	sub, err := packet.DecodeSubtree(pkt.Payload)
+	if err != nil {
+		return // corrupt packet: drop
+	}
+	e := s.entry(node, pkt.Group)
+	if pkt.Version < e.version {
+		return // stale distribution overtaken by a newer one
+	}
+	e.version = pkt.Version
+	oldUp := e.upstream
+	wasOnTree := e.onTree
+	e.onTree = true
+	e.upstream = pkt.From
+	if wasOnTree && oldUp != noUpstream && oldUp != pkt.From {
+		// Restructured: break the loop by pruning toward the old parent.
+		s.net.SendLink(node, oldUp, &netsim.Packet{
+			Kind:  packet.Prune,
+			Group: pkt.Group,
+			Src:   node,
+			Size:  packet.ControlSize,
+		})
+	}
+	newDown := make(map[topology.NodeID]bool, len(sub.Children))
+	for _, c := range sub.Children {
+		newDown[c.Addr] = true
+		payload := packet.EncodeSubtree(c.Sub)
+		s.net.SendLink(node, c.Addr, &netsim.Packet{
+			Kind:    packet.Tree,
+			Group:   pkt.Group,
+			Src:     pkt.Src,
+			Version: pkt.Version,
+			Payload: payload,
+			Size:    len(payload) + 8,
+		})
+	}
+	for d := range e.downstream {
+		if !newDown[d] {
+			s.net.SendLink(node, d, &netsim.Packet{
+				Kind:    packet.Flush,
+				Group:   pkt.Group,
+				Src:     node,
+				Version: pkt.Version,
+				Size:    packet.ControlSize,
+			})
+		}
+	}
+	e.downstream = newDown
+	if e.pendingLocal {
+		e.pendingLocal = false
+		e.hasLocal = true
+	}
+}
+
+// handleBranch implements BRANCH processing (§III-E): pop self off the
+// head, adopt upstream if new, add the next router downstream, forward.
+func (s *SCMP) handleBranch(node topology.NodeID, pkt *netsim.Packet) {
+	path, err := packet.DecodeBranch(pkt.Payload)
+	if err != nil || len(path) == 0 || path[0] != node {
+		return
+	}
+	e := s.entry(node, pkt.Group)
+	if pkt.Version < e.version {
+		return
+	}
+	e.version = pkt.Version
+	if !e.onTree {
+		e.onTree = true
+		e.upstream = pkt.From
+	}
+	// Any router the BRANCH confirms on the tree can add the interface
+	// it marked at IGMP-report time — the node may be a mid-path relay
+	// whose own JOIN overlapped with this distribution.
+	if e.pendingLocal {
+		e.pendingLocal = false
+		e.hasLocal = true
+	}
+	rest := path[1:]
+	if len(rest) == 0 {
+		return // this router is the new member's DR
+	}
+	e.downstream[rest[0]] = true
+	payload := packet.EncodeBranch(rest)
+	s.net.SendLink(node, rest[0], &netsim.Packet{
+		Kind:    packet.Branch,
+		Group:   pkt.Group,
+		Src:     pkt.Src,
+		Version: pkt.Version,
+		Payload: payload,
+		Size:    len(payload) + 8,
+	})
+}
+
+// handlePrune removes the sending child; a router left as a childless
+// non-member leaf prunes itself upstream in turn (§III-C).
+func (s *SCMP) handlePrune(node topology.NodeID, pkt *netsim.Packet) {
+	e := s.peekEntry(node, pkt.Group)
+	if e == nil || !e.onTree {
+		return
+	}
+	delete(e.downstream, pkt.From)
+	if s.isHome(node, pkt.Group) {
+		return
+	}
+	if len(e.downstream) == 0 && !e.hasLocal && !e.pendingLocal {
+		s.sendPrune(node, pkt.Group, e)
+	}
+}
+
+// handleFlush tears down a stale branch after a restructure: the router
+// forgets its entry and cascades the flush to its own downstream. A DR
+// that still has local members immediately re-joins.
+func (s *SCMP) handleFlush(node topology.NodeID, pkt *netsim.Packet) {
+	e := s.peekEntry(node, pkt.Group)
+	if e == nil || !e.onTree {
+		return
+	}
+	if pkt.Version < e.version || pkt.From != e.upstream {
+		return // already re-homed by a newer distribution
+	}
+	for d := range e.downstream {
+		s.net.SendLink(node, d, &netsim.Packet{
+			Kind:    packet.Flush,
+			Group:   pkt.Group,
+			Src:     node,
+			Version: pkt.Version,
+			Size:    packet.ControlSize,
+		})
+	}
+	hadLocal := e.hasLocal
+	e.onTree = false
+	e.upstream = noUpstream
+	e.downstream = make(map[topology.NodeID]bool)
+	e.hasLocal = false
+	if hadLocal {
+		e.pendingLocal = true
+		s.sendControl(node, pkt.Group, packet.Join, node)
+	}
+}
+
+// --- data forwarding (§III-F) -------------------------------------------
+
+// SendData implements netsim.Protocol: an on-tree source (or the
+// m-router) sends along the bi-directional tree; an off-tree source
+// encapsulates to the m-router.
+func (s *SCMP) SendData(src topology.NodeID, g packet.GroupID, size int, seq uint64) {
+	pkt := &netsim.Packet{
+		Kind:    packet.Data,
+		Group:   g,
+		Src:     src,
+		Seq:     seq,
+		Size:    size,
+		Created: s.net.Now(),
+	}
+	e := s.peekEntry(src, g)
+	if e != nil && e.onTree && e.version>>32 == s.epoch {
+		s.forwardOnTree(src, e, pkt, src /* nothing to exclude: use src itself */)
+		return
+	}
+	enc := *pkt
+	enc.Kind = packet.EncapData
+	enc.Dst = s.home(g)
+	enc.Size = size + 20 // IP-in-IP encapsulation header
+	s.net.SendUnicast(src, &enc)
+}
+
+// forwardOnTree sends pkt to upstream and all downstream except the one
+// it came from.
+func (s *SCMP) forwardOnTree(node topology.NodeID, e *entry, pkt *netsim.Packet, except topology.NodeID) {
+	if e.upstream != noUpstream && e.upstream != except {
+		s.net.SendLink(node, e.upstream, pkt)
+	}
+	for d := range e.downstream {
+		if d != except {
+			s.net.SendLink(node, d, pkt)
+		}
+	}
+}
+
+// handleData implements the multicast packet forwarding procedure: if
+// the packet arrived from a router in F = {upstream} ∪ downstream,
+// forward it to the rest of F and deliver locally; otherwise drop it.
+func (s *SCMP) handleData(node topology.NodeID, pkt *netsim.Packet) {
+	e := s.peekEntry(node, pkt.Group)
+	if e == nil || !e.onTree {
+		s.net.DropData()
+		return
+	}
+	fromUpstream := pkt.From == e.upstream
+	fromDownstream := e.downstream[pkt.From]
+	if !fromUpstream && !fromDownstream {
+		s.net.DropData()
+		return
+	}
+	s.recordTraffic(node, pkt.Group, pkt.Size)
+	s.forwardOnTree(node, e, pkt, pkt.From)
+	if e.hasLocal {
+		s.net.DeliverLocal(node, pkt)
+	}
+}
+
+// recordTraffic charges data crossing the m-router to the group's
+// accounting session (§II-C: the m-router is "to check, track and
+// record the multicast traffic in the corresponding multicast session").
+func (s *SCMP) recordTraffic(node topology.NodeID, g packet.GroupID, size int) {
+	if !s.isHome(node, g) {
+		return
+	}
+	if gs := s.groups[g]; gs != nil && gs.session != 0 {
+		_ = s.acct.RecordTraffic(g, gs.session, size)
+	}
+}
+
+// TrafficRecord returns the packets and bytes the m-router has switched
+// for the group's session.
+func (s *SCMP) TrafficRecord(g packet.GroupID) (packets, bytes uint64) {
+	gs := s.groups[g]
+	if gs == nil || gs.session == 0 {
+		return 0, 0
+	}
+	info, err := s.acct.Session(g, gs.session)
+	if err != nil {
+		return 0, 0
+	}
+	return info.Packets, info.Bytes
+}
+
+// handleEncap decapsulates data at the m-router and forwards it down the
+// tree.
+func (s *SCMP) handleEncap(node topology.NodeID, pkt *netsim.Packet) {
+	if !s.isHome(node, pkt.Group) {
+		return
+	}
+	e := s.peekEntry(node, pkt.Group)
+	if e == nil || !e.onTree {
+		s.net.DropData()
+		return
+	}
+	data := *pkt
+	data.Kind = packet.Data
+	data.Size = pkt.Size - 20
+	s.recordTraffic(node, pkt.Group, data.Size)
+	s.forwardOnTree(node, e, &data, node)
+	if e.hasLocal {
+		s.net.DeliverLocal(node, &data)
+	}
+}

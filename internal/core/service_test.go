@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"scmp/internal/des"
+	"scmp/internal/netsim"
+	"scmp/internal/topology"
+)
+
+func TestServiceZeroTimeIsSynchronous(t *testing.T) {
+	sc := newServiceCenter(des.New(), 0, 4)
+	ran := false
+	sc.submit(func() { ran = true })
+	if !ran {
+		t.Fatal("zero service time must run synchronously")
+	}
+	if sc.requests != 0 {
+		t.Fatal("synchronous path should not count queueing requests")
+	}
+}
+
+func TestServiceSingleProcessorQueues(t *testing.T) {
+	sched := des.New()
+	sc := newServiceCenter(sched, 2, 1)
+	var done []des.Time
+	run := func() { done = append(done, sched.Now()) }
+	sc.submit(run) // services 0..2
+	sc.submit(run) // waits 2, services 2..4
+	sc.submit(run) // waits 4, services 4..6
+	sched.Run()
+	if len(done) != 3 || done[0] != 2 || done[1] != 4 || done[2] != 6 {
+		t.Fatalf("completions = %v, want [2 4 6]", done)
+	}
+	if sc.maxWait != 4 || sc.totalWait != 6 {
+		t.Fatalf("maxWait=%v totalWait=%v", sc.maxWait, sc.totalWait)
+	}
+}
+
+func TestServiceParallelProcessors(t *testing.T) {
+	sched := des.New()
+	sc := newServiceCenter(sched, 2, 3)
+	var done []des.Time
+	for i := 0; i < 3; i++ {
+		sc.submit(func() { done = append(done, sched.Now()) })
+	}
+	sched.Run()
+	for _, d := range done {
+		if d != 2 {
+			t.Fatalf("completions = %v, want all at 2", done)
+		}
+	}
+	if sc.maxWait != 0 {
+		t.Fatalf("maxWait = %v, want 0", sc.maxWait)
+	}
+}
+
+func TestServiceProcessorsFloor(t *testing.T) {
+	sc := newServiceCenter(des.New(), 1, 0)
+	if len(sc.busyUntil) != 1 {
+		t.Fatalf("processors = %d, want 1", len(sc.busyUntil))
+	}
+}
+
+// TestMRouterLoadAblation verifies the §II-B argument quantitatively: a
+// join burst at a single-processor m-router queues; adding processors
+// removes the queueing.
+func TestMRouterLoadAblation(t *testing.T) {
+	g, err := topology.Random(topology.DefaultRandom(40, 4), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.ScaleDelays(1e-3)
+	maxWait := func(processors int) float64 {
+		s := New(Config{MRouter: 0, ServiceTime: 0.05, Processors: processors})
+		n := netsim.New(g, s)
+		for v := 1; v <= 20; v++ {
+			n.HostJoin(topology.NodeID(v), grp)
+		}
+		n.Run()
+		stats := s.ServiceStats()
+		if stats.Requests == 0 {
+			t.Fatal("no requests serviced")
+		}
+		return stats.MaxWait
+	}
+	one := maxWait(1)
+	eight := maxWait(8)
+	if one <= eight {
+		t.Fatalf("1-proc max wait %.3f not above 8-proc %.3f", one, eight)
+	}
+	if eight > one/2 {
+		t.Fatalf("8 processors should cut the wait substantially: %.3f vs %.3f", eight, one)
+	}
+}
+
+func TestServiceDelaysJoinButDelivers(t *testing.T) {
+	g, err := topology.Random(topology.DefaultRandom(20, 4), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.ScaleDelays(1e-3)
+	s := New(Config{MRouter: 0, ServiceTime: 0.01, Processors: 2})
+	n := netsim.New(g, s)
+	n.HostJoin(5, grp)
+	n.HostJoin(9, grp)
+	n.Run()
+	seq := n.SendData(3, grp, 500)
+	n.Run()
+	missing, anomalous := n.CheckDelivery(seq)
+	if len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("missing=%v anomalous=%v", missing, anomalous)
+	}
+	if s.ServiceStats().Requests != 2 {
+		t.Fatalf("requests = %d, want 2", s.ServiceStats().Requests)
+	}
+}
+
+func TestServiceStatsZeroValue(t *testing.T) {
+	s := New(Config{MRouter: 0})
+	g := topology.New(2)
+	g.MustAddEdge(0, 1, 1, 1)
+	netsim.New(g, s)
+	stats := s.ServiceStats()
+	if stats.Requests != 0 || stats.MeanWait != 0 || stats.MaxWait != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,158 @@
+// Package des implements a deterministic discrete-event scheduler.
+//
+// It is the execution substrate for the network simulator (the offline
+// replacement for NS-2 used throughout this reproduction). Events are
+// ordered by simulated time; ties are broken by insertion sequence so a
+// simulation run is bit-reproducible regardless of map iteration order or
+// host scheduling.
+package des
+
+import "container/heap"
+
+// Time is simulated time in seconds.
+type Time float64
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// At reports the simulated time this event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event simulator. The zero value
+// is ready to use.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// New returns a fresh scheduler at time zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past (t < Now) panics: it would violate causality.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic("des: event scheduled in the past")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Halt stops Run/RunUntil before the next event is dispatched.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Step executes the single earliest pending event. It returns false when
+// the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.dead = true
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil executes events with firing time <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.halted = false
+	for !s.halted {
+		e := s.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Scheduler
+	ran := false
+	s.After(1, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if s.Now() != 1 {
+		t.Fatalf("Now = %v, want 1", s.Now())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO at %d: %v", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.At(1, func() { ran = true })
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false")
+	}
+}
+
+func TestCancelAlreadyFired(t *testing.T) {
+	s := New()
+	var e *Event
+	e = s.At(1, func() {})
+	s.Run()
+	e.Cancel() // must not panic
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var got []Time
+	s.At(1, func() {
+		got = append(got, s.Now())
+		s.After(2, func() { got = append(got, s.Now()) })
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on past event")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(1, func() { got = append(got, 1) })
+	s.At(5, func() { got = append(got, 5) })
+	s.At(10, func() { got = append(got, 10) })
+	s.RunUntil(5)
+	if len(got) != 2 {
+		t.Fatalf("events run = %v, want [1 5]", got)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+	s.RunUntil(20)
+	if len(got) != 3 {
+		t.Fatalf("events run = %v, want [1 5 10]", got)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", s.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(5, func() { ran = true })
+	s.RunUntil(5)
+	if !ran {
+		t.Fatal("event at deadline did not run")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	n := 0
+	s.At(1, func() { n++; s.Halt() })
+	s.At(2, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("events run = %d, want 1", n)
+	}
+	s.Run() // resume
+	if n != 2 {
+		t.Fatalf("events run = %d, want 2", n)
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// insertion order.
+func TestPropertyMonotonicDispatch(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, raw := range times {
+			tm := Time(raw)
+			s.At(tm, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		want := make([]Time, len(times))
+		for i, raw := range times {
+			want[i] = Time(raw)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range fired {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a randomly-generated cascade of nested events is reproducible:
+// two schedulers fed the same seed dispatch identical sequences.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		var trace []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, s.Now())
+			if depth >= 4 {
+				return
+			}
+			n := rng.Intn(3)
+			for i := 0; i < n; i++ {
+				s.After(Time(rng.Float64()), func() { spawn(depth + 1) })
+			}
+		}
+		for i := 0; i < 5; i++ {
+			s.After(Time(rng.Float64()), func() { spawn(0) })
+		}
+		s.Run()
+		return trace
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: trace lengths differ", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at %d", seed, i)
+			}
+		}
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(1, func() {})
+		s.Step()
+	}
+}

@@ -1,0 +1,44 @@
+package des_test
+
+import (
+	"fmt"
+
+	"scmp/internal/des"
+)
+
+func ExampleScheduler() {
+	s := des.New()
+	s.At(2, func() { fmt.Println("world at", s.Now()) })
+	s.At(1, func() { fmt.Println("hello at", s.Now()) })
+	s.After(3, func() { fmt.Println("done at", s.Now()) })
+	s.Run()
+	// Output:
+	// hello at 1
+	// world at 2
+	// done at 3
+}
+
+func ExampleScheduler_RunUntil() {
+	s := des.New()
+	for t := 1; t <= 5; t++ {
+		t := t
+		s.At(des.Time(t), func() { fmt.Println("tick", t) })
+	}
+	s.RunUntil(3)
+	fmt.Println("paused at", s.Now())
+	// Output:
+	// tick 1
+	// tick 2
+	// tick 3
+	// paused at 3
+}
+
+func ExampleEvent_Cancel() {
+	s := des.New()
+	e := s.At(1, func() { fmt.Println("never") })
+	e.Cancel()
+	s.Run()
+	fmt.Println("cancelled:", e.Cancelled())
+	// Output:
+	// cancelled: true
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallConcentration() ConcentrationConfig {
+	return ConcentrationConfig{Nodes: 30, Degree: 4, Groups: 4, Members: 6, Senders: 5, Rounds: 2, Seeds: 3}
+}
+
+func TestConcentrationShape(t *testing.T) {
+	points := RunConcentration(smallConcentration())
+	by := map[string]ConcentrationPoint{}
+	for _, p := range points {
+		by[p.Scheme] = p
+	}
+	if len(by) != 4 {
+		t.Fatalf("schemes = %d", len(by))
+	}
+	// Spreading groups over more m-routers must reduce the busiest
+	// center's load (§II-A's regional m-routers).
+	one := by["SCMP-1m"].CenterLoad.Mean()
+	two := by["SCMP-2m"].CenterLoad.Mean()
+	four := by["SCMP-4m"].CenterLoad.Mean()
+	if !(four < two && two < one) {
+		t.Fatalf("center load not decreasing with m-routers: 1m %.0f, 2m %.0f, 4m %.0f", one, two, four)
+	}
+	// The single-core CBT concentrates at least comparably to
+	// single-m-router SCMP (both funnel off-tree senders through one
+	// node); many-to-many CBT members are on-tree so allow slack — the
+	// claim tested is that multiple m-routers beat BOTH single-center
+	// schemes.
+	cbt := by["CBT-1core"].CenterLoad.Mean()
+	if !(four < cbt) {
+		t.Fatalf("4 m-routers (%.0f) should beat the single core (%.0f)", four, cbt)
+	}
+}
+
+func TestWriteConcentration(t *testing.T) {
+	var buf bytes.Buffer
+	WriteConcentration(&buf, RunConcentration(ConcentrationConfig{
+		Nodes: 20, Degree: 3, Groups: 2, Members: 4, Senders: 3, Rounds: 1, Seeds: 1,
+	}))
+	out := buf.String()
+	for _, want := range []string{"Traffic concentration", "CBT-1core", "SCMP-4m"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"scmp/internal/mtree"
+	"scmp/internal/stats"
+	"scmp/internal/topology"
+)
+
+// Fig7Config parameterises the tree-quality comparison of Fig. 7:
+// Waxman topologies, group size swept, three delay-constraint levels,
+// three algorithms (DCDM = SCMP's tree, KMB, SPT), averaged over seeds.
+type Fig7Config struct {
+	Nodes      int     // paper: 100
+	Alpha      float64 // paper: 0.25
+	Beta       float64 // paper: 0.2
+	GroupSizes []int   // paper: 10..90 step 10
+	Seeds      int     // paper: 10
+}
+
+// DefaultFig7 returns the paper's configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		Nodes: 100, Alpha: 0.25, Beta: 0.2,
+		GroupSizes: []int{10, 20, 30, 40, 50, 60, 70, 80, 90},
+		Seeds:      10,
+	}
+}
+
+// ConstraintLevels maps the paper's three delay-constraint levels to
+// DCDM's bound multiplier.
+var ConstraintLevels = []struct {
+	Name  string
+	Kappa float64
+}{
+	{"tightest", 1},
+	{"moderate", 1.5},
+	{"loosest", math.Inf(1)},
+}
+
+// Fig7Point is one (level, group size, algorithm) cell: tree delay and
+// tree cost sampled across seeds.
+type Fig7Point struct {
+	Level     string
+	GroupSize int
+	Algorithm string
+	TreeDelay *stats.Sample
+	TreeCost  *stats.Sample
+}
+
+// RunFig7 executes the sweep and returns every cell, ordered by level,
+// group size, algorithm.
+func RunFig7(cfg Fig7Config) []Fig7Point {
+	type key struct {
+		level, algo string
+		size        int
+	}
+	cells := make(map[key]*Fig7Point)
+	cell := func(level, algo string, size int) *Fig7Point {
+		k := key{level, algo, size}
+		p := cells[k]
+		if p == nil {
+			p = &Fig7Point{Level: level, GroupSize: size, Algorithm: algo,
+				TreeDelay: &stats.Sample{}, TreeCost: &stats.Sample{}}
+			cells[k] = p
+		}
+		return p
+	}
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		wcfg := topology.WaxmanConfig{N: cfg.Nodes, Alpha: cfg.Alpha, Beta: cfg.Beta, GridSize: 32767, Connect: true}
+		wg, err := topology.Waxman(wcfg, rng)
+		if err != nil {
+			panic(err)
+		}
+		g := wg.Graph
+		root := topology.NodeID(0)
+		spDelay := topology.NewAllPairs(g, topology.ByDelay)
+		spCost := topology.NewAllPairs(g, topology.ByCost)
+		for _, size := range cfg.GroupSizes {
+			members := pickMembers(rng, g.N(), size, root)
+			// KMB and SPT are constraint-oblivious; compute once and
+			// record them under every level so each panel has all three
+			// series, like the paper's plots.
+			kmb := mtree.KMB(g, root, members, spCost)
+			spt := mtree.SPT(g, root, members, spDelay)
+			for _, lvl := range ConstraintLevels {
+				d := mtree.NewDCDM(g, root, lvl.Kappa, spDelay, spCost)
+				for _, m := range members {
+					d.Join(m)
+				}
+				dc := cell(lvl.Name, "DCDM", size)
+				dc.TreeDelay.Add(d.Tree().TreeDelay())
+				dc.TreeCost.Add(d.Tree().Cost())
+				kc := cell(lvl.Name, "KMB", size)
+				kc.TreeDelay.Add(kmb.TreeDelay())
+				kc.TreeCost.Add(kmb.Cost())
+				sc := cell(lvl.Name, "SPT", size)
+				sc.TreeDelay.Add(spt.TreeDelay())
+				sc.TreeCost.Add(spt.Cost())
+			}
+		}
+	}
+	out := make([]Fig7Point, 0, len(cells))
+	for _, p := range cells {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Level != b.Level {
+			return levelRank(a.Level) < levelRank(b.Level)
+		}
+		if a.GroupSize != b.GroupSize {
+			return a.GroupSize < b.GroupSize
+		}
+		return a.Algorithm < b.Algorithm
+	})
+	return out
+}
+
+func levelRank(level string) int {
+	for i, lvl := range ConstraintLevels {
+		if lvl.Name == level {
+			return i
+		}
+	}
+	return len(ConstraintLevels)
+}
+
+// WriteFig7 prints the sweep as paper-style panels: Fig. 7(a-c) tree
+// delay and Fig. 7(d-f) tree cost, one row per group size, one column
+// per algorithm.
+func WriteFig7(w io.Writer, points []Fig7Point) {
+	metrics := []struct {
+		title string
+		pick  func(Fig7Point) *stats.Sample
+	}{
+		{"Tree delay", func(p Fig7Point) *stats.Sample { return p.TreeDelay }},
+		{"Tree cost", func(p Fig7Point) *stats.Sample { return p.TreeCost }},
+	}
+	for _, m := range metrics {
+		for _, lvl := range ConstraintLevels {
+			fmt.Fprintf(w, "\n%s — delay constraint %s\n", m.title, lvl.Name)
+			fmt.Fprintf(w, "%-10s %14s %14s %14s\n", "groupsize", "DCDM", "KMB", "SPT")
+			bySize := map[int]map[string]*stats.Sample{}
+			for _, p := range points {
+				if p.Level != lvl.Name {
+					continue
+				}
+				if bySize[p.GroupSize] == nil {
+					bySize[p.GroupSize] = map[string]*stats.Sample{}
+				}
+				bySize[p.GroupSize][p.Algorithm] = m.pick(p)
+			}
+			sizes := make([]int, 0, len(bySize))
+			for s := range bySize {
+				sizes = append(sizes, s)
+			}
+			sort.Ints(sizes)
+			for _, s := range sizes {
+				row := bySize[s]
+				fmt.Fprintf(w, "%-10d %14.0f %14.0f %14.0f\n",
+					s, row["DCDM"].Mean(), row["KMB"].Mean(), row["SPT"].Mean())
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"scmp/internal/mtree"
+	"scmp/internal/stats"
+	"scmp/internal/topology"
+)
+
+// Fig7xConfig parameterises the topology-sensitivity companion to
+// Fig. 7: the same DCDM/KMB/SPT comparison run across topology
+// families (the paper's Waxman model, GT-ITM-style flat random graphs,
+// a hierarchical transit-stub, and the fixed ARPANET), to check that
+// the paper's conclusions do not hinge on the Waxman generator.
+type Fig7xConfig struct {
+	GroupSize int // members per run (clamped to the topology size)
+	Seeds     int
+	Kappa     float64 // DCDM constraint (default 1.5, the moderate level)
+}
+
+// DefaultFig7x returns a moderate configuration.
+func DefaultFig7x() Fig7xConfig {
+	return Fig7xConfig{GroupSize: 20, Seeds: 5, Kappa: 1.5}
+}
+
+// Fig7xFamilies lists the topology families swept.
+var Fig7xFamilies = []string{"waxman100", "random50-deg3", "random50-deg5", "transitstub112", "arpanet20"}
+
+func buildFamily(name string, seed int64) *topology.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "waxman100":
+		wg, err := topology.Waxman(topology.DefaultWaxman(100), rng)
+		if err != nil {
+			panic(err)
+		}
+		return wg.Graph
+	case "random50-deg3":
+		g, err := topology.Random(topology.DefaultRandom(50, 3), rng)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	case "random50-deg5":
+		g, err := topology.Random(topology.DefaultRandom(50, 5), rng)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	case "transitstub112":
+		g, _, err := topology.TransitStub(topology.DefaultTransitStub(), rng)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	case "arpanet20":
+		return topology.Arpanet()
+	default:
+		panic("experiment: unknown family " + name)
+	}
+}
+
+// Fig7xPoint is one (family, algorithm) cell, with cost and delay
+// normalised to SPT's values on the same instance so families of very
+// different scales are comparable.
+type Fig7xPoint struct {
+	Family    string
+	Algorithm string
+	// CostVsSPT and DelayVsSPT sample cost(alg)/cost(SPT) and
+	// delay(alg)/delay(SPT) per seed.
+	CostVsSPT  *stats.Sample
+	DelayVsSPT *stats.Sample
+}
+
+// RunFig7x executes the sweep.
+func RunFig7x(cfg Fig7xConfig) []Fig7xPoint {
+	if cfg.Kappa == 0 {
+		cfg.Kappa = 1.5
+	}
+	points := map[[2]string]*Fig7xPoint{}
+	cell := func(family, algo string) *Fig7xPoint {
+		k := [2]string{family, algo}
+		p := points[k]
+		if p == nil {
+			p = &Fig7xPoint{Family: family, Algorithm: algo,
+				CostVsSPT: &stats.Sample{}, DelayVsSPT: &stats.Sample{}}
+			points[k] = p
+		}
+		return p
+	}
+	for _, family := range Fig7xFamilies {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			g := buildFamily(family, int64(seed))
+			size := cfg.GroupSize
+			if size >= g.N() {
+				size = g.N() - 2
+			}
+			wl := rand.New(rand.NewSource(int64(seed) * 977))
+			members := pickMembers(wl, g.N(), size, 0)
+			spDelay := topology.NewAllPairs(g, topology.ByDelay)
+			spCost := topology.NewAllPairs(g, topology.ByCost)
+
+			spt := mtree.SPT(g, 0, members, spDelay)
+			kmb := mtree.KMB(g, 0, members, spCost)
+			dcdm := mtree.NewDCDM(g, 0, cfg.Kappa, spDelay, spCost)
+			for _, m := range members {
+				dcdm.Join(m)
+			}
+			baseCost, baseDelay := spt.Cost(), spt.TreeDelay()
+			if baseCost <= 0 || baseDelay <= 0 {
+				continue
+			}
+			record := func(algo string, cost, delay float64) {
+				p := cell(family, algo)
+				p.CostVsSPT.Add(cost / baseCost)
+				p.DelayVsSPT.Add(delay / baseDelay)
+			}
+			record("DCDM", dcdm.Tree().Cost(), dcdm.Tree().TreeDelay())
+			record("KMB", kmb.Cost(), kmb.TreeDelay())
+			record("SPT", baseCost, baseDelay)
+		}
+	}
+	out := make([]Fig7xPoint, 0, len(points))
+	for _, family := range Fig7xFamilies {
+		for _, algo := range []string{"DCDM", "KMB", "SPT"} {
+			if p, ok := points[[2]string{family, algo}]; ok {
+				out = append(out, *p)
+			}
+		}
+	}
+	return out
+}
+
+// WriteFig7x prints the study: cost and delay relative to SPT (=1.00)
+// per family.
+func WriteFig7x(w io.Writer, points []Fig7xPoint) {
+	fmt.Fprintf(w, "\nTree quality across topology families (relative to SPT = 1.00)\n")
+	fmt.Fprintf(w, "%-16s %-6s %14s %14s\n", "family", "algo", "cost/SPT", "delay/SPT")
+	sorted := append([]Fig7xPoint(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Family != sorted[j].Family {
+			return familyRank(sorted[i].Family) < familyRank(sorted[j].Family)
+		}
+		return sorted[i].Algorithm < sorted[j].Algorithm
+	})
+	for _, p := range sorted {
+		fmt.Fprintf(w, "%-16s %-6s %14.3f %14.3f\n",
+			p.Family, p.Algorithm, p.CostVsSPT.Mean(), p.DelayVsSPT.Mean())
+	}
+}
+
+func familyRank(f string) int {
+	for i, name := range Fig7xFamilies {
+		if name == f {
+			return i
+		}
+	}
+	return math.MaxInt32
+}

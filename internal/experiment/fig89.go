@@ -1,0 +1,282 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"scmp/internal/core"
+	"scmp/internal/des"
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/protocols/cbt"
+	"scmp/internal/protocols/dvmrp"
+	"scmp/internal/protocols/mospf"
+	"scmp/internal/stats"
+	"scmp/internal/topology"
+)
+
+// Protocols compared in Fig. 8/9, paper order.
+var Protocols = []string{"SCMP", "DVMRP", "MOSPF", "CBT"}
+
+// Fig89Config parameterises the network-wide comparison: for each of
+// three topologies (ARPANET plus two random 50-node graphs with average
+// degree 3 and 5), a group of the given size joins, then a single source
+// sends one packet per second for SimTime seconds (§IV-B).
+type Fig89Config struct {
+	GroupSizes    []int    // paper: 8..40
+	Seeds         int      // member/source placements per point
+	SimTime       float64  // paper: 30 s
+	DataRate      float64  // paper: 1 packet/s
+	PruneLifetime des.Time // DVMRP prune timeout
+	Topologies    []string // defaults to Fig89Topologies()
+}
+
+// DefaultFig89 returns the paper's configuration.
+func DefaultFig89() Fig89Config {
+	return Fig89Config{
+		GroupSizes:    []int{8, 12, 16, 20, 24, 28, 32, 36, 40},
+		Seeds:         10,
+		SimTime:       30,
+		DataRate:      1,
+		PruneLifetime: dvmrp.DefaultPruneLifetime,
+		Topologies:    Fig89Topologies(),
+	}
+}
+
+// Fig89Point is one (topology, group size, protocol) cell.
+type Fig89Point struct {
+	Topology  string
+	GroupSize int
+	Protocol  string
+	// DataOverhead and ProtoOverhead are in link-cost units over the
+	// whole run; MaxE2E is the maximum end-to-end delay of delivered
+	// data packets; Undelivered counts member-deliveries that never
+	// happened (0 when the protocols converge, which they must).
+	DataOverhead  *stats.Sample
+	ProtoOverhead *stats.Sample
+	MaxE2E        *stats.Sample
+	Undelivered   int
+}
+
+// buildProtocol instantiates a protocol by name with the shared
+// center node used as m-router / CBT core.
+func buildProtocol(name string, center topology.NodeID, pruneLifetime des.Time) netsim.Protocol {
+	switch name {
+	case "SCMP":
+		// The moderate constraint (bound 1.5x the farthest member's
+		// unicast delay) lets DCDM trade a little delay for tree cost,
+		// the regime the paper's Fig. 8 runs in: its data overhead is
+		// "strongly correlated to the multicast tree cost".
+		return core.New(core.Config{MRouter: center, Kappa: 1.5})
+	case "DVMRP":
+		return dvmrp.New(pruneLifetime)
+	case "MOSPF":
+		return mospf.New()
+	case "CBT":
+		return cbt.New(center)
+	default:
+		panic("experiment: unknown protocol " + name)
+	}
+}
+
+// Center picks the shared m-router / core location: the node with the
+// smallest average shortest-path delay to all others (placement rule 1
+// of §IV-A). SCMP and CBT get the same center, as in the paper's setup.
+func Center(g *topology.Graph) topology.NodeID {
+	best := topology.NodeID(0)
+	bestAvg := -1.0
+	for u := 0; u < g.N(); u++ {
+		sp := topology.Shortest(g, topology.NodeID(u), topology.ByDelay)
+		sum := 0.0
+		for v := 0; v < g.N(); v++ {
+			sum += sp.Delay[v]
+		}
+		avg := sum / float64(g.N())
+		if bestAvg < 0 || avg < bestAvg {
+			best, bestAvg = topology.NodeID(u), avg
+		}
+	}
+	return best
+}
+
+// runOne simulates one protocol run and returns (data overhead,
+// protocol overhead, max end-to-end delay, undelivered member count).
+func runOne(g *topology.Graph, protoName string, cfg Fig89Config,
+	members []topology.NodeID, source, center topology.NodeID) (float64, float64, float64, int) {
+
+	proto := buildProtocol(protoName, center, cfg.PruneLifetime)
+	n := netsim.New(g, proto)
+
+	// Members join over the first half second, then the group is stable
+	// for the data phase, matching the paper's static member sets.
+	for i, m := range members {
+		m := m
+		n.Sched.At(des.Time(float64(i)*0.01), func() { n.HostJoin(m, 1) })
+	}
+	var seqs []uint64
+	interval := 1.0 / cfg.DataRate
+	for t := 1.0; t <= cfg.SimTime; t += interval {
+		n.Sched.At(des.Time(t), func() {
+			seqs = append(seqs, n.SendData(source, 1, packet.DefaultDataSize))
+		})
+	}
+	n.RunUntil(des.Time(cfg.SimTime))
+	n.Run() // drain in-flight packets
+
+	undelivered := 0
+	for _, seq := range seqs {
+		missing, _ := n.CheckDelivery(seq)
+		undelivered += len(missing)
+	}
+	return n.Metrics.DataOverhead(), n.Metrics.ProtocolOverhead(), n.Metrics.MaxEndToEndDelay(), undelivered
+}
+
+// RunFig89 executes the full sweep. The same member sets, sources and
+// centers are reused across protocols within a (topology, size, seed)
+// triple so the comparison is paired, like the paper's.
+func RunFig89(cfg Fig89Config) []Fig89Point {
+	if cfg.Topologies == nil {
+		cfg.Topologies = Fig89Topologies()
+	}
+	type key struct {
+		topo, proto string
+		size        int
+	}
+	cells := make(map[key]*Fig89Point)
+	cell := func(topo, proto string, size int) *Fig89Point {
+		k := key{topo, proto, size}
+		p := cells[k]
+		if p == nil {
+			p = &Fig89Point{Topology: topo, GroupSize: size, Protocol: proto,
+				DataOverhead: &stats.Sample{}, ProtoOverhead: &stats.Sample{}, MaxE2E: &stats.Sample{}}
+			cells[k] = p
+		}
+		return p
+	}
+	for _, topo := range cfg.Topologies {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			g := BuildTopology(topo, int64(seed))
+			center := Center(g)
+			rng := rand.New(rand.NewSource(int64(seed) * 7919))
+			for _, size := range cfg.GroupSizes {
+				if size >= g.N() {
+					continue
+				}
+				members := pickMembers(rng, g.N(), size, -1)
+				source := topology.NodeID(rng.Intn(g.N()))
+				for _, protoName := range Protocols {
+					data, proto, maxE2E, undelivered := runOne(g, protoName, cfg, members, source, center)
+					c := cell(topo, protoName, size)
+					c.DataOverhead.Add(data)
+					c.ProtoOverhead.Add(proto)
+					c.MaxE2E.Add(maxE2E)
+					c.Undelivered += undelivered
+				}
+			}
+		}
+	}
+	out := make([]Fig89Point, 0, len(cells))
+	for _, p := range cells {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Topology != b.Topology {
+			return topoRank(a.Topology) < topoRank(b.Topology)
+		}
+		if a.GroupSize != b.GroupSize {
+			return a.GroupSize < b.GroupSize
+		}
+		return protoRank(a.Protocol) < protoRank(b.Protocol)
+	})
+	return out
+}
+
+func topoRank(t string) int {
+	for i, name := range Fig89Topologies() {
+		if name == t {
+			return i
+		}
+	}
+	return 99
+}
+
+func protoRank(p string) int {
+	for i, name := range Protocols {
+		if name == p {
+			return i
+		}
+	}
+	return 99
+}
+
+// metricPick selects which metric a writer prints and how to format it.
+type metricPick struct {
+	title  string
+	format string
+	pick   func(Fig89Point) *stats.Sample
+}
+
+func writeFig89Metric(w io.Writer, points []Fig89Point, m metricPick) {
+	for _, topo := range Fig89Topologies() {
+		any := false
+		for _, p := range points {
+			if p.Topology == topo {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s — %s\n", m.title, topo)
+		fmt.Fprintf(w, "%-10s", "groupsize")
+		for _, proto := range Protocols {
+			fmt.Fprintf(w, " %14s", proto)
+		}
+		fmt.Fprintln(w)
+		bySize := map[int]map[string]*stats.Sample{}
+		for _, p := range points {
+			if p.Topology != topo {
+				continue
+			}
+			if bySize[p.GroupSize] == nil {
+				bySize[p.GroupSize] = map[string]*stats.Sample{}
+			}
+			bySize[p.GroupSize][p.Protocol] = m.pick(p)
+		}
+		sizes := make([]int, 0, len(bySize))
+		for s := range bySize {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		for _, s := range sizes {
+			fmt.Fprintf(w, "%-10d", s)
+			for _, proto := range Protocols {
+				if sm := bySize[s][proto]; sm != nil {
+					fmt.Fprintf(w, " "+m.format, sm.Mean())
+				} else {
+					fmt.Fprintf(w, " %14s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// WriteFig8 prints the data-overhead panels (Fig. 8 a–c) and the
+// protocol-overhead panels (Fig. 8 d–f).
+func WriteFig8(w io.Writer, points []Fig89Point) {
+	writeFig89Metric(w, points, metricPick{"Data overhead (link-cost units)", "%14.1f",
+		func(p Fig89Point) *stats.Sample { return p.DataOverhead }})
+	writeFig89Metric(w, points, metricPick{"Protocol overhead (link-cost units)", "%14.1f",
+		func(p Fig89Point) *stats.Sample { return p.ProtoOverhead }})
+}
+
+// WriteFig9 prints the maximum end-to-end delay panels (Fig. 9 a–c).
+func WriteFig9(w io.Writer, points []Fig89Point) {
+	writeFig89Metric(w, points, metricPick{"Maximum end-to-end delay (s)", "%14.4f",
+		func(p Fig89Point) *stats.Sample { return p.MaxE2E }})
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/stats"
+	"scmp/internal/topology"
+)
+
+// StateConfig parameterises the routing-state scalability study that
+// quantifies the paper's §I argument: SPT-based protocols (DVMRP,
+// MOSPF) keep per-(source, group) state, while the shared/centralised
+// protocols (SCMP, CBT) keep per-group state only. The workload runs
+// G groups, each with a fixed member count and several distinct
+// senders, then counts each router's live state entries.
+type StateConfig struct {
+	Nodes      int
+	Degree     float64
+	Groups     []int // group counts to sweep
+	Members    int   // members per group
+	Senders    int   // distinct senders per group
+	PacketsPer int   // packets each sender sends (instantiates state)
+	Seeds      int
+}
+
+// DefaultState returns a 50-router configuration.
+func DefaultState() StateConfig {
+	return StateConfig{
+		Nodes: 50, Degree: 4,
+		Groups:  []int{1, 2, 4, 8, 16},
+		Members: 8, Senders: 4, PacketsPer: 2,
+		Seeds: 5,
+	}
+}
+
+// StatePoint is one (groups, protocol) cell: state entries per router.
+type StatePoint struct {
+	Groups   int
+	Protocol string
+	MaxState *stats.Sample // max entries over routers, sampled per seed
+	SumState *stats.Sample // total entries across routers
+}
+
+// stateCounter is implemented by all four protocols.
+type stateCounter interface {
+	StateEntries(node topology.NodeID) int
+}
+
+// RunState executes the sweep.
+func RunState(cfg StateConfig) []StatePoint {
+	type key struct {
+		groups int
+		proto  string
+	}
+	cells := map[key]*StatePoint{}
+	cell := func(groups int, proto string) *StatePoint {
+		k := key{groups, proto}
+		p := cells[k]
+		if p == nil {
+			p = &StatePoint{Groups: groups, Protocol: proto,
+				MaxState: &stats.Sample{}, SumState: &stats.Sample{}}
+			cells[k] = p
+		}
+		return p
+	}
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		g, err := topology.Random(topology.DefaultRandom(cfg.Nodes, cfg.Degree), rand.New(rand.NewSource(int64(seed))))
+		if err != nil {
+			panic(err)
+		}
+		g = g.ScaleDelays(1e-3)
+		center := Center(g)
+		for _, groups := range cfg.Groups {
+			// One shared workload per (seed, groups): per group, a
+			// member set and a sender set.
+			wl := rand.New(rand.NewSource(int64(seed)*1e6 + int64(groups)))
+			type groupPlan struct {
+				members []topology.NodeID
+				senders []topology.NodeID
+			}
+			plans := make([]groupPlan, groups)
+			for i := range plans {
+				plans[i] = groupPlan{
+					members: pickMembers(wl, g.N(), cfg.Members, -1),
+					senders: pickMembers(wl, g.N(), cfg.Senders, -1),
+				}
+			}
+			for _, protoName := range Protocols {
+				proto := buildProtocol(protoName, center, 1000 /* prunes persist: measure steady state */)
+				n := netsim.New(g, proto)
+				for gi, plan := range plans {
+					gid := packet.GroupID(gi + 1)
+					for _, m := range plan.members {
+						n.HostJoin(m, gid)
+					}
+					n.Run()
+					for p := 0; p < cfg.PacketsPer; p++ {
+						for _, s := range plan.senders {
+							n.SendData(s, gid, packet.DefaultDataSize)
+							n.Run()
+						}
+					}
+				}
+				counter := proto.(stateCounter)
+				maxState, sum := 0, 0
+				for v := 0; v < g.N(); v++ {
+					st := counter.StateEntries(topology.NodeID(v))
+					sum += st
+					if st > maxState {
+						maxState = st
+					}
+				}
+				c := cell(groups, protoName)
+				c.MaxState.Add(float64(maxState))
+				c.SumState.Add(float64(sum))
+			}
+		}
+	}
+	out := make([]StatePoint, 0, len(cells))
+	for _, p := range cells {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Groups != out[j].Groups {
+			return out[i].Groups < out[j].Groups
+		}
+		return protoRank(out[i].Protocol) < protoRank(out[j].Protocol)
+	})
+	return out
+}
+
+// WriteState prints the study: per group count, the worst-router and
+// domain-total state entries per protocol.
+func WriteState(w io.Writer, points []StatePoint) {
+	fmt.Fprintf(w, "\nRouting state per router (max over routers / domain total)\n")
+	fmt.Fprintf(w, "%-8s", "groups")
+	for _, proto := range Protocols {
+		fmt.Fprintf(w, " %18s", proto)
+	}
+	fmt.Fprintln(w)
+	byGroups := map[int]map[string]StatePoint{}
+	for _, p := range points {
+		if byGroups[p.Groups] == nil {
+			byGroups[p.Groups] = map[string]StatePoint{}
+		}
+		byGroups[p.Groups][p.Protocol] = p
+	}
+	var groupCounts []int
+	for gc := range byGroups {
+		groupCounts = append(groupCounts, gc)
+	}
+	sort.Ints(groupCounts)
+	for _, gc := range groupCounts {
+		fmt.Fprintf(w, "%-8d", gc)
+		for _, proto := range Protocols {
+			p, ok := byGroups[gc][proto]
+			if !ok {
+				fmt.Fprintf(w, " %18s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %9.1f/%8.0f", p.MaxState.Mean(), p.SumState.Mean())
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,152 @@
+// Package fabric simulates the m-router's internal switching fabric
+// (§II-B): a three-stage sandwich network made of a permutation network
+// (PN), a connection component network (CCN) and a distribution network
+// (DN). The PN gathers the input links of each multicast group into a
+// contiguous run, the CCN merges each run in a reversed binary tree onto
+// one line, and the DN permutes each merged line onto the output port
+// that roots the group's multicast tree in the Internet. Sources of
+// different groups are never connected inside the fabric.
+//
+// PN and DN are Beneš networks — rearrangeably non-blocking — routed
+// with the classic looping algorithm.
+package fabric
+
+import "fmt"
+
+// benes is an n x n Beneš network (n a power of two, n >= 2), built
+// recursively: an input column and an output column of n/2 two-by-two
+// crossbars around an upper and a lower n/2 Beneš subnetwork.
+type benes struct {
+	n        int
+	cross    bool   // n == 2: the single switch's state
+	inCross  []bool // n > 2: input-column switch states
+	outCross []bool // n > 2: output-column switch states
+	upper    *benes
+	lower    *benes
+}
+
+// routeBenes builds switch settings realising the permutation perm
+// (perm[i] is the output port for input i) using the looping algorithm.
+func routeBenes(perm []int) (*benes, error) {
+	n := len(perm)
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fabric: Beneš size %d is not a power of two >= 2", n)
+	}
+	inv := make([]int, n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, o := range perm {
+		if o < 0 || o >= n {
+			return nil, fmt.Errorf("fabric: output %d out of range", o)
+		}
+		if inv[o] != -1 {
+			return nil, fmt.Errorf("fabric: output %d assigned twice", o)
+		}
+		inv[o] = i
+	}
+	return buildBenes(perm, inv), nil
+}
+
+func buildBenes(perm, inv []int) *benes {
+	n := len(perm)
+	if n == 2 {
+		return &benes{n: 2, cross: perm[0] == 1}
+	}
+	// Loop colouring: colour[i] selects input i's subnetwork (0 = upper).
+	// Constraints: switch partners (i, i^1) differ; inputs whose outputs
+	// are switch partners differ.
+	colour := make([]int, n)
+	for i := range colour {
+		colour[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if colour[start] != -1 {
+			continue
+		}
+		i, c := start, 0
+		for i != -1 && colour[i] == -1 {
+			colour[i] = c
+			partner := i ^ 1
+			if colour[partner] != -1 {
+				break
+			}
+			colour[partner] = 1 - c
+			// The input sharing partner's output switch must take
+			// partner's colour's complement = c.
+			j := inv[perm[partner]^1]
+			i = j
+		}
+	}
+	half := n / 2
+	upperPerm := make([]int, half)
+	lowerPerm := make([]int, half)
+	inCross := make([]bool, half)
+	outCross := make([]bool, half)
+	for i, c := range colour {
+		s, t := i/2, perm[i]/2
+		if c == 0 {
+			upperPerm[s] = t
+		} else {
+			lowerPerm[s] = t
+		}
+		if i%2 == 0 {
+			inCross[s] = c == 1 // even port routed to the lower subnet
+		}
+		if perm[i]%2 == 0 {
+			outCross[t] = c == 1 // even output fed from the lower subnet
+		}
+	}
+	upInv := invert(upperPerm)
+	loInv := invert(lowerPerm)
+	return &benes{
+		n:        n,
+		inCross:  inCross,
+		outCross: outCross,
+		upper:    buildBenes(upperPerm, upInv),
+		lower:    buildBenes(lowerPerm, loInv),
+	}
+}
+
+func invert(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, o := range perm {
+		inv[o] = i
+	}
+	return inv
+}
+
+// route traces input port in through the switch settings to its output.
+func (b *benes) route(in int) int {
+	if b.n == 2 {
+		if b.cross {
+			return in ^ 1
+		}
+		return in
+	}
+	s := in / 2
+	toLower := in%2 == 1
+	if b.inCross[s] {
+		toLower = !toLower
+	}
+	var t int
+	if toLower {
+		t = b.lower.route(s)
+	} else {
+		t = b.upper.route(s)
+	}
+	fromLower := toLower
+	outBit := 0
+	if fromLower != b.outCross[t] {
+		outBit = 1
+	}
+	return 2*t + outBit
+}
+
+// depth returns the number of switching stages (2*log2(n) - 1).
+func (b *benes) depth() int {
+	if b.n == 2 {
+		return 1
+	}
+	return 2 + b.upper.depth()
+}

@@ -1,0 +1,82 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"scmp/internal/packet"
+)
+
+// Cell-level simulation of a configured sandwich network. The fabric is
+// synchronous: time advances in cell slots, a cell crosses one switching
+// stage per slot, and cells of the same group that reach the CCN merge
+// tree in the same slot are combined onto the group's line — the
+// conference-network semantics of the paper's references [11], [12]
+// (simultaneous sources are merged, never queued against each other,
+// and sources of different groups never meet).
+
+// Arrival is one merged cell emerging from an output port.
+type Arrival struct {
+	Slot    int // slot the merged cell leaves the fabric
+	Output  int
+	Group   packet.GroupID
+	Sources []int // input ports whose cells were merged, ascending
+}
+
+// SimulateStream injects cells into a configured fabric over a sequence
+// of slots: injections[s] lists the input ports carrying a cell in slot
+// s. It returns the merged arrivals, ordered by (slot, output). Cells on
+// idle (unconfigured) inputs are rejected with an error, because a real
+// fabric has nowhere to route them.
+func (c *Configuration) SimulateStream(injections [][]int) ([]Arrival, error) {
+	latency := c.Stages()
+	var out []Arrival
+	for slot, inputs := range injections {
+		// Group this slot's cells by the run (group) they merge into.
+		merged := map[int][]int{} // run start -> sources
+		seen := map[int]bool{}
+		for _, in := range inputs {
+			if in < 0 || in >= c.n {
+				return nil, fmt.Errorf("fabric: slot %d: input %d out of range", slot, in)
+			}
+			if seen[in] {
+				return nil, fmt.Errorf("fabric: slot %d: input %d injected twice", slot, in)
+			}
+			seen[in] = true
+			mid := c.pn.route(in)
+			start := c.runStart[mid]
+			if start == -1 {
+				return nil, fmt.Errorf("fabric: slot %d: input %d carries no group", slot, in)
+			}
+			merged[start] = append(merged[start], in)
+		}
+		starts := make([]int, 0, len(merged))
+		for s := range merged {
+			starts = append(starts, s)
+		}
+		sort.Ints(starts)
+		for _, s := range starts {
+			sources := merged[s]
+			sort.Ints(sources)
+			out = append(out, Arrival{
+				Slot:    slot + latency,
+				Output:  c.dn.route(s),
+				Group:   c.groupOfRun[s],
+				Sources: sources,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return out[i].Slot < out[j].Slot
+		}
+		return out[i].Output < out[j].Output
+	})
+	return out, nil
+}
+
+// Throughput reports the fabric's per-slot delivery capacity for a
+// configuration: the number of distinct group outputs that can emit a
+// merged cell simultaneously (one per configured group — the sandwich
+// network is non-blocking across groups).
+func (c *Configuration) Throughput() int { return len(c.groups) }

@@ -1,0 +1,169 @@
+package fabric
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scmp/internal/packet"
+)
+
+func confConfig(t *testing.T) *Configuration {
+	t.Helper()
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Configure(map[packet.GroupID]GroupConn{
+		1: {Inputs: []int{0, 3, 5}, Output: 2},
+		2: {Inputs: []int{1, 6}, Output: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestSimulateMergesSameGroupSameSlot(t *testing.T) {
+	cfg := confConfig(t)
+	arrivals, err := cfg.SimulateStream([][]int{{0, 3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 1 {
+		t.Fatalf("arrivals = %+v", arrivals)
+	}
+	a := arrivals[0]
+	if a.Output != 2 || a.Group != 1 {
+		t.Fatalf("arrival = %+v", a)
+	}
+	if !reflect.DeepEqual(a.Sources, []int{0, 3, 5}) {
+		t.Fatalf("sources = %v", a.Sources)
+	}
+	if a.Slot != cfg.Stages() {
+		t.Fatalf("slot = %d, want pipeline latency %d", a.Slot, cfg.Stages())
+	}
+}
+
+func TestSimulateKeepsGroupsApart(t *testing.T) {
+	cfg := confConfig(t)
+	arrivals, err := cfg.SimulateStream([][]int{{0, 1, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %+v", arrivals)
+	}
+	for _, a := range arrivals {
+		switch a.Group {
+		case 1:
+			if !reflect.DeepEqual(a.Sources, []int{0, 5}) || a.Output != 2 {
+				t.Fatalf("group 1 arrival = %+v", a)
+			}
+		case 2:
+			if !reflect.DeepEqual(a.Sources, []int{1, 6}) || a.Output != 7 {
+				t.Fatalf("group 2 arrival = %+v", a)
+			}
+		default:
+			t.Fatalf("unexpected group %d", a.Group)
+		}
+	}
+}
+
+func TestSimulateMultiSlotOrdering(t *testing.T) {
+	cfg := confConfig(t)
+	arrivals, err := cfg.SimulateStream([][]int{{0}, {}, {3, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %+v", arrivals)
+	}
+	lat := cfg.Stages()
+	if arrivals[0].Slot != lat || arrivals[1].Slot != lat+2 || arrivals[2].Slot != lat+2 {
+		t.Fatalf("slots = %d %d %d", arrivals[0].Slot, arrivals[1].Slot, arrivals[2].Slot)
+	}
+	// Same slot ordered by output port.
+	if arrivals[1].Output > arrivals[2].Output {
+		t.Fatal("same-slot arrivals not ordered by output")
+	}
+}
+
+func TestSimulateRejections(t *testing.T) {
+	cfg := confConfig(t)
+	cases := map[string][][]int{
+		"idle input":    {{2}},
+		"out of range":  {{9}},
+		"negative":      {{-1}},
+		"double inject": {{0, 0}},
+	}
+	for name, inj := range cases {
+		if _, err := cfg.SimulateStream(inj); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := confConfig(t).Throughput(); got != 2 {
+		t.Fatalf("Throughput = %d, want 2", got)
+	}
+}
+
+// Property: every arrival's sources belong to exactly the arrival's
+// group, all injected cells are accounted for, and latency is uniform.
+func TestPropertySimulationConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab, err := New(16)
+		if err != nil {
+			return false
+		}
+		cfg, err := fab.Configure(map[packet.GroupID]GroupConn{
+			1: {Inputs: []int{0, 1, 2, 3}, Output: 5},
+			2: {Inputs: []int{4, 5, 6}, Output: 9},
+			3: {Inputs: []int{8, 12}, Output: 0},
+		})
+		if err != nil {
+			return false
+		}
+		owner := map[int]packet.GroupID{}
+		for gid, gc := range map[packet.GroupID][]int{1: {0, 1, 2, 3}, 2: {4, 5, 6}, 3: {8, 12}} {
+			for _, in := range gc {
+				owner[in] = gid
+			}
+		}
+		// Random injections over 5 slots.
+		injections := make([][]int, 5)
+		injected := 0
+		for s := range injections {
+			for in := range owner {
+				if rng.Float64() < 0.5 {
+					injections[s] = append(injections[s], in)
+					injected++
+				}
+			}
+		}
+		arrivals, err := cfg.SimulateStream(injections)
+		if err != nil {
+			return false
+		}
+		arrived := 0
+		for _, a := range arrivals {
+			if a.Slot < cfg.Stages() {
+				return false
+			}
+			for _, src := range a.Sources {
+				if owner[src] != a.Group {
+					return false // cross-group mixing
+				}
+				arrived++
+			}
+		}
+		return arrived == injected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

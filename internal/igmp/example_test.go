@@ -1,0 +1,44 @@
+package igmp_test
+
+import (
+	"fmt"
+
+	"scmp/internal/core"
+	"scmp/internal/igmp"
+	"scmp/internal/netsim"
+	"scmp/internal/topology"
+)
+
+// Example shows IGMP report suppression and DR failover on a shared
+// subnet: the routing protocol only ever sees membership edges, and a
+// dead designated router hands its registrations to the next one.
+func Example() {
+	g := topology.New(4)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(0, 2, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	g.MustAddEdge(2, 3, 1, 1)
+	scmp := core.New(core.Config{MRouter: 0})
+	net := netsim.New(g, scmp)
+	hosts := igmp.NewHosts(net)
+	subnet := igmp.NewSharedSubnet(hosts, 1, 2) // two candidate routers
+
+	dr, _ := subnet.DR()
+	fmt.Println("designated router:", dr)
+
+	subnet.Join("laptop", 7)
+	subnet.Join("phone", 7) // suppressed: same subnet, same group
+	net.Run()
+	fmt.Println("members on subnet:", hosts.Count(dr, 7))
+	fmt.Println("member routers:", hosts.MemberRouters(7))
+
+	subnet.RouterDown(1) // DR dies; router 2 takes over and re-joins
+	net.Run()
+	newDR, _ := subnet.DR()
+	fmt.Println("new DR:", newDR, "member routers:", hosts.MemberRouters(7))
+	// Output:
+	// designated router: 1
+	// members on subnet: 2
+	// member routers: [1]
+	// new DR: 2 member routers: [2]
+}

@@ -1,0 +1,86 @@
+// Package igmp models the paper's group-management layer (§II-C): hosts
+// live on subnets behind a designated router (DR); IGMP keeps group
+// membership transparent to the routing protocol, which only learns the
+// edges — a subnet gaining its first member host of a group, or losing
+// its last one. Report suppression is modelled by the DR counting member
+// hosts per group and calling the routing protocol only on 0<->1
+// transitions, exactly as the paper's member joining / leaving
+// procedures describe.
+package igmp
+
+import (
+	"sort"
+
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// Hosts tracks member hosts per (designated router, group).
+type Hosts struct {
+	net     *netsim.Network
+	subnets map[topology.NodeID]map[packet.GroupID]map[string]bool
+}
+
+// NewHosts returns an IGMP layer bound to a network.
+func NewHosts(n *netsim.Network) *Hosts {
+	return &Hosts{
+		net:     n,
+		subnets: make(map[topology.NodeID]map[packet.GroupID]map[string]bool),
+	}
+}
+
+// Join registers host (an opaque identifier, e.g. "pc7") on dr's subnet
+// as a member of g. The first host of a group on a subnet triggers the
+// routing protocol's HostJoin. Duplicate joins are idempotent.
+func (h *Hosts) Join(dr topology.NodeID, host string, g packet.GroupID) {
+	byGroup := h.subnets[dr]
+	if byGroup == nil {
+		byGroup = make(map[packet.GroupID]map[string]bool)
+		h.subnets[dr] = byGroup
+	}
+	members := byGroup[g]
+	if members == nil {
+		members = make(map[string]bool)
+		byGroup[g] = members
+	}
+	if members[host] {
+		return
+	}
+	members[host] = true
+	if len(members) == 1 {
+		h.net.HostJoin(dr, g)
+	}
+}
+
+// Leave removes host from g on dr's subnet. The last host leaving
+// triggers the routing protocol's HostLeave. Unknown hosts are ignored.
+func (h *Hosts) Leave(dr topology.NodeID, host string, g packet.GroupID) {
+	members := h.subnets[dr][g]
+	if members == nil || !members[host] {
+		return
+	}
+	delete(members, host)
+	if len(members) == 0 {
+		delete(h.subnets[dr], g)
+		h.net.HostLeave(dr, g)
+	}
+}
+
+// Count returns the number of member hosts of g on dr's subnet.
+func (h *Hosts) Count(dr topology.NodeID, g packet.GroupID) int {
+	return len(h.subnets[dr][g])
+}
+
+// MemberRouters returns the DRs with at least one member host of g,
+// sorted.
+func (h *Hosts) MemberRouters(g packet.GroupID) []topology.NodeID {
+	var out []topology.NodeID
+	for dr, byGroup := range h.subnets {
+		if len(byGroup[g]) > 0 {
+			out = append(out, dr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,117 @@
+package igmp
+
+import (
+	"testing"
+
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// countingProto counts HostJoin/HostLeave edges per router.
+type countingProto struct {
+	joins, leaves map[topology.NodeID]int
+}
+
+func newCounting() *countingProto {
+	return &countingProto{joins: map[topology.NodeID]int{}, leaves: map[topology.NodeID]int{}}
+}
+
+func (c *countingProto) Name() string                                          { return "count" }
+func (c *countingProto) Attach(*netsim.Network)                                {}
+func (c *countingProto) HandlePacket(topology.NodeID, *netsim.Packet)          {}
+func (c *countingProto) HostJoin(n topology.NodeID, _ packet.GroupID)          { c.joins[n]++ }
+func (c *countingProto) HostLeave(n topology.NodeID, _ packet.GroupID)         { c.leaves[n]++ }
+func (c *countingProto) SendData(topology.NodeID, packet.GroupID, int, uint64) {}
+
+func setup() (*Hosts, *countingProto) {
+	g := topology.New(2)
+	g.MustAddEdge(0, 1, 1, 1)
+	p := newCounting()
+	n := netsim.New(g, p)
+	return NewHosts(n), p
+}
+
+func TestFirstHostTriggersJoin(t *testing.T) {
+	h, p := setup()
+	h.Join(0, "a", 7)
+	h.Join(0, "b", 7) // suppressed
+	if p.joins[0] != 1 {
+		t.Fatalf("joins = %d, want 1 (report suppression)", p.joins[0])
+	}
+	if h.Count(0, 7) != 2 {
+		t.Fatalf("Count = %d", h.Count(0, 7))
+	}
+}
+
+func TestDuplicateJoinIdempotent(t *testing.T) {
+	h, p := setup()
+	h.Join(0, "a", 7)
+	h.Join(0, "a", 7)
+	if p.joins[0] != 1 || h.Count(0, 7) != 1 {
+		t.Fatalf("joins=%d count=%d", p.joins[0], h.Count(0, 7))
+	}
+}
+
+func TestLastHostTriggersLeave(t *testing.T) {
+	h, p := setup()
+	h.Join(0, "a", 7)
+	h.Join(0, "b", 7)
+	h.Leave(0, "a", 7)
+	if p.leaves[0] != 0 {
+		t.Fatal("leave fired while members remain")
+	}
+	h.Leave(0, "b", 7)
+	if p.leaves[0] != 1 {
+		t.Fatalf("leaves = %d, want 1", p.leaves[0])
+	}
+	if h.Count(0, 7) != 0 {
+		t.Fatal("count not zero")
+	}
+}
+
+func TestLeaveUnknownHostIgnored(t *testing.T) {
+	h, p := setup()
+	h.Leave(0, "ghost", 7)
+	if p.leaves[0] != 0 {
+		t.Fatal("phantom leave")
+	}
+}
+
+func TestGroupsIndependent(t *testing.T) {
+	h, p := setup()
+	h.Join(0, "a", 1)
+	h.Join(0, "a", 2)
+	if p.joins[0] != 2 {
+		t.Fatalf("joins = %d, want 2 (one per group)", p.joins[0])
+	}
+	h.Leave(0, "a", 1)
+	if p.leaves[0] != 1 || h.Count(0, 2) != 1 {
+		t.Fatal("group isolation broken")
+	}
+}
+
+func TestMemberRouters(t *testing.T) {
+	h, _ := setup()
+	h.Join(1, "x", 7)
+	h.Join(0, "y", 7)
+	got := h.MemberRouters(7)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("MemberRouters = %v", got)
+	}
+	h.Leave(0, "y", 7)
+	got = h.MemberRouters(7)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("MemberRouters = %v", got)
+	}
+}
+
+func TestRejoinAfterFullLeave(t *testing.T) {
+	h, p := setup()
+	h.Join(0, "a", 7)
+	h.Leave(0, "a", 7)
+	h.Join(0, "a", 7)
+	if p.joins[0] != 2 || p.leaves[0] != 1 {
+		t.Fatalf("joins=%d leaves=%d", p.joins[0], p.leaves[0])
+	}
+}

@@ -1,0 +1,88 @@
+package igmp
+
+import (
+	"scmp/internal/des"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// Querier models the DR's soft-state membership cycle (§II-C: "The DR
+// is responsible for sending Host Membership Query messages to discover
+// which groups have members on their subnet. Hosts respond to a Query
+// by generating Host Membership Reports"). Hosts that stop responding
+// — crashed or unplugged, never sending an IGMP leave — age out after
+// missing a configurable number of query rounds, and the DR withdraws
+// the membership exactly as if the last host had left.
+type Querier struct {
+	hosts    *Hosts
+	sched    *des.Scheduler
+	dr       topology.NodeID
+	interval des.Time
+	misses   int // query rounds a host may miss before aging out
+
+	// lastSeen[group][host] = time of the host's last report.
+	lastSeen map[packet.GroupID]map[string]des.Time
+	stopped  bool
+}
+
+// NewQuerier starts a query cycle at dr: a query fires every interval;
+// a host missing `misses` consecutive rounds is aged out. The cycle
+// runs until Stop.
+func NewQuerier(h *Hosts, sched *des.Scheduler, dr topology.NodeID, interval des.Time, misses int) *Querier {
+	if interval <= 0 {
+		panic("igmp: query interval must be positive")
+	}
+	if misses < 1 {
+		misses = 2
+	}
+	q := &Querier{
+		hosts:    h,
+		sched:    sched,
+		dr:       dr,
+		interval: interval,
+		misses:   misses,
+		lastSeen: make(map[packet.GroupID]map[string]des.Time),
+	}
+	sched.After(interval, q.query)
+	return q
+}
+
+// Report records a host's membership report (also registering the
+// membership, so callers use the Querier instead of Hosts.Join
+// directly).
+func (q *Querier) Report(host string, g packet.GroupID) {
+	if q.lastSeen[g] == nil {
+		q.lastSeen[g] = make(map[string]des.Time)
+	}
+	q.lastSeen[g][host] = q.sched.Now()
+	q.hosts.Join(q.dr, host, g)
+}
+
+// Leave records an explicit IGMP leave.
+func (q *Querier) Leave(host string, g packet.GroupID) {
+	delete(q.lastSeen[g], host)
+	q.hosts.Leave(q.dr, host, g)
+}
+
+// Stop ends the query cycle.
+func (q *Querier) Stop() { q.stopped = true }
+
+// query ages out silent hosts and reschedules itself.
+func (q *Querier) query() {
+	if q.stopped {
+		return
+	}
+	deadline := q.sched.Now() - des.Time(q.misses)*q.interval
+	for g, hosts := range q.lastSeen {
+		for host, seen := range hosts {
+			if seen < deadline {
+				delete(hosts, host)
+				q.hosts.Leave(q.dr, host, g)
+			}
+		}
+		if len(hosts) == 0 {
+			delete(q.lastSeen, g)
+		}
+	}
+	q.sched.After(q.interval, q.query)
+}

@@ -1,0 +1,104 @@
+package igmp
+
+import (
+	"testing"
+
+	"scmp/internal/des"
+	"scmp/internal/netsim"
+	"scmp/internal/topology"
+)
+
+func querierSetup(t *testing.T) (*Hosts, *countingProto, *netsim.Network) {
+	t.Helper()
+	g := topology.New(2)
+	g.MustAddEdge(0, 1, 1, 1)
+	p := newCounting()
+	n := netsim.New(g, p)
+	return NewHosts(n), p, n
+}
+
+func TestSilentHostAgesOut(t *testing.T) {
+	h, p, n := querierSetup(t)
+	q := NewQuerier(h, n.Sched, 0, 10, 2)
+	q.Report("crasher", 7)
+	// The host never reports again: it must age out after 2 missed
+	// rounds (i.e. by ~t=30).
+	n.RunUntil(50)
+	if p.leaves[0] != 1 {
+		t.Fatalf("leaves = %d, want 1 (aged out)", p.leaves[0])
+	}
+	if h.Count(0, 7) != 0 {
+		t.Fatal("membership not withdrawn")
+	}
+	q.Stop()
+}
+
+func TestRespondingHostSurvives(t *testing.T) {
+	h, p, n := querierSetup(t)
+	q := NewQuerier(h, n.Sched, 0, 10, 2)
+	q.Report("laptop", 7)
+	// Respond every round.
+	for tick := 10.0; tick <= 100; tick += 10 {
+		n.Sched.At(des.Time(tick)+1, func() { q.Report("laptop", 7) })
+	}
+	n.RunUntil(100)
+	if p.leaves[0] != 0 {
+		t.Fatalf("leaves = %d, want 0 (host kept reporting)", p.leaves[0])
+	}
+	if h.Count(0, 7) != 1 {
+		t.Fatal("membership lost despite reports")
+	}
+	q.Stop()
+}
+
+func TestExplicitLeaveBeatsAging(t *testing.T) {
+	h, p, n := querierSetup(t)
+	q := NewQuerier(h, n.Sched, 0, 10, 2)
+	q.Report("tidy", 7)
+	n.Sched.At(5, func() { q.Leave("tidy", 7) })
+	n.RunUntil(50)
+	if p.leaves[0] != 1 {
+		t.Fatalf("leaves = %d, want exactly 1", p.leaves[0])
+	}
+	_ = h
+	q.Stop()
+}
+
+func TestStopEndsCycle(t *testing.T) {
+	h, _, n := querierSetup(t)
+	q := NewQuerier(h, n.Sched, 0, 10, 2)
+	q.Report("host", 7)
+	q.Stop()
+	n.RunUntil(200)
+	// Stopped querier never ages anyone out.
+	if h.Count(0, 7) != 1 {
+		t.Fatal("stopped querier aged out a host")
+	}
+}
+
+func TestAgingIsPerHost(t *testing.T) {
+	h, _, n := querierSetup(t)
+	q := NewQuerier(h, n.Sched, 0, 10, 2)
+	q.Report("quiet", 7)
+	q.Report("chatty", 7)
+	for tick := 10.0; tick <= 100; tick += 10 {
+		n.Sched.At(des.Time(tick)+1, func() { q.Report("chatty", 7) })
+	}
+	n.RunUntil(100)
+	// quiet aged out, chatty survives; DR still has one member so no
+	// protocol leave fired.
+	if h.Count(0, 7) != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count(0, 7))
+	}
+	q.Stop()
+}
+
+func TestQuerierGuards(t *testing.T) {
+	h, _, n := querierSetup(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval accepted")
+		}
+	}()
+	NewQuerier(h, n.Sched, 0, 0, 2)
+}

@@ -1,0 +1,143 @@
+package igmp
+
+import (
+	"fmt"
+	"sort"
+
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// SharedSubnet models a multi-access subnet with several attached
+// routers, of which one is elected designated router (§II-C: "one of
+// the routers connected to the same subnet is selected to act as the
+// designated router (DR). The DR is responsible for sending Host
+// Membership Query messages"). The election rule is the classic
+// lowest-address-wins among live routers. When the DR fails, the next
+// router takes over and re-registers the subnet's memberships with the
+// routing protocol.
+type SharedSubnet struct {
+	hosts   *Hosts
+	routers []topology.NodeID
+	alive   map[topology.NodeID]bool
+	// members mirrors the subnet's host membership so it can be
+	// re-registered under a new DR.
+	members map[packet.GroupID]map[string]bool
+}
+
+// NewSharedSubnet attaches a subnet with the given candidate routers
+// (at least one) to an IGMP layer.
+func NewSharedSubnet(h *Hosts, routers ...topology.NodeID) *SharedSubnet {
+	if len(routers) == 0 {
+		panic("igmp: a subnet needs at least one router")
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, r := range routers {
+		if seen[r] {
+			panic(fmt.Sprintf("igmp: duplicate subnet router %d", r))
+		}
+		seen[r] = true
+	}
+	sorted := append([]topology.NodeID(nil), routers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := &SharedSubnet{
+		hosts:   h,
+		routers: sorted,
+		alive:   make(map[topology.NodeID]bool),
+		members: make(map[packet.GroupID]map[string]bool),
+	}
+	for _, r := range sorted {
+		s.alive[r] = true
+	}
+	return s
+}
+
+// DR returns the elected designated router: the lowest-address live
+// router; ok is false when every router is down.
+func (s *SharedSubnet) DR() (topology.NodeID, bool) {
+	for _, r := range s.routers {
+		if s.alive[r] {
+			return r, true
+		}
+	}
+	return -1, false
+}
+
+// Join registers a member host on the subnet; the current DR reports it.
+func (s *SharedSubnet) Join(host string, g packet.GroupID) {
+	dr, ok := s.DR()
+	if !ok {
+		return // isolated subnet: nothing to report to
+	}
+	if s.members[g] == nil {
+		s.members[g] = make(map[string]bool)
+	}
+	s.members[g][host] = true
+	s.hosts.Join(dr, host, g)
+}
+
+// Leave removes a member host from the subnet.
+func (s *SharedSubnet) Leave(host string, g packet.GroupID) {
+	if s.members[g] == nil || !s.members[g][host] {
+		return
+	}
+	delete(s.members[g], host)
+	if len(s.members[g]) == 0 {
+		delete(s.members, g)
+	}
+	if dr, ok := s.DR(); ok {
+		s.hosts.Leave(dr, host, g)
+	}
+}
+
+// RouterDown marks a router dead. If it was the DR, the next live
+// router wins the election and re-registers the subnet's memberships
+// (the old DR's registrations are withdrawn first, so the routing
+// protocol prunes its branch and grafts the new one).
+func (s *SharedSubnet) RouterDown(r topology.NodeID) {
+	if !s.alive[r] {
+		return
+	}
+	oldDR, hadDR := s.DR()
+	s.alive[r] = false
+	if !hadDR || oldDR != r {
+		return // a backup died: no re-election needed
+	}
+	s.withdraw(oldDR)
+	if newDR, ok := s.DR(); ok {
+		s.register(newDR)
+	}
+}
+
+// RouterUp revives a router. If it outranks the current DR it takes
+// over (pre-emptive election, like IGMPv2 querier election).
+func (s *SharedSubnet) RouterUp(r topology.NodeID) {
+	if s.alive[r] {
+		return
+	}
+	oldDR, hadDR := s.DR()
+	s.alive[r] = true
+	newDR, _ := s.DR()
+	if hadDR && newDR != oldDR {
+		s.withdraw(oldDR)
+		s.register(newDR)
+	} else if !hadDR {
+		s.register(newDR)
+	}
+}
+
+func (s *SharedSubnet) withdraw(dr topology.NodeID) {
+	for g, hosts := range s.members {
+		for host := range hosts {
+			s.hosts.Leave(dr, host, g)
+		}
+	}
+}
+
+func (s *SharedSubnet) register(dr topology.NodeID) {
+	for g, hosts := range s.members {
+		for host := range hosts {
+			s.hosts.Join(dr, host, g)
+		}
+	}
+}

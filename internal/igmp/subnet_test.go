@@ -1,0 +1,168 @@
+package igmp
+
+import (
+	"math/rand"
+	"testing"
+
+	"scmp/internal/core"
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+func subnetSetup(t *testing.T) (*Hosts, *countingProto) {
+	t.Helper()
+	g := topology.New(4)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	g.MustAddEdge(2, 3, 1, 1)
+	p := newCounting()
+	n := netsim.New(g, p)
+	return NewHosts(n), p
+}
+
+func TestDRElectionLowestWins(t *testing.T) {
+	h, _ := subnetSetup(t)
+	s := NewSharedSubnet(h, 3, 1, 2)
+	dr, ok := s.DR()
+	if !ok || dr != 1 {
+		t.Fatalf("DR = %d/%v, want 1", dr, ok)
+	}
+}
+
+func TestSubnetJoinGoesToDR(t *testing.T) {
+	h, p := subnetSetup(t)
+	s := NewSharedSubnet(h, 2, 1)
+	s.Join("a", 7)
+	if p.joins[1] != 1 || p.joins[2] != 0 {
+		t.Fatalf("joins = %v", p.joins)
+	}
+}
+
+func TestDRFailoverMigratesMembership(t *testing.T) {
+	h, p := subnetSetup(t)
+	s := NewSharedSubnet(h, 1, 2)
+	s.Join("a", 7)
+	s.Join("b", 8)
+	s.RouterDown(1)
+	dr, _ := s.DR()
+	if dr != 2 {
+		t.Fatalf("new DR = %d, want 2", dr)
+	}
+	// Old DR withdrew both groups; new DR re-registered them.
+	if p.leaves[1] != 2 {
+		t.Fatalf("old DR leaves = %d, want 2", p.leaves[1])
+	}
+	if p.joins[2] != 2 {
+		t.Fatalf("new DR joins = %d, want 2", p.joins[2])
+	}
+}
+
+func TestBackupRouterDeathIsQuiet(t *testing.T) {
+	h, p := subnetSetup(t)
+	s := NewSharedSubnet(h, 1, 2)
+	s.Join("a", 7)
+	joins, leaves := p.joins[1], p.leaves[1]
+	s.RouterDown(2)
+	if p.joins[1] != joins || p.leaves[1] != leaves {
+		t.Fatal("backup death disturbed the DR")
+	}
+}
+
+func TestPreemptiveReelectionOnRouterUp(t *testing.T) {
+	h, p := subnetSetup(t)
+	s := NewSharedSubnet(h, 1, 2)
+	s.Join("a", 7)
+	s.RouterDown(1) // DR -> 2
+	s.RouterUp(1)   // 1 outranks 2: takes back over
+	dr, _ := s.DR()
+	if dr != 1 {
+		t.Fatalf("DR = %d, want 1", dr)
+	}
+	if p.joins[1] != 2 { // initial + re-registration
+		t.Fatalf("joins at 1 = %d, want 2", p.joins[1])
+	}
+}
+
+func TestAllRoutersDownThenUp(t *testing.T) {
+	h, p := subnetSetup(t)
+	s := NewSharedSubnet(h, 1, 2)
+	s.Join("a", 7)
+	s.RouterDown(1)
+	s.RouterDown(2)
+	if _, ok := s.DR(); ok {
+		t.Fatal("DR on a dead subnet")
+	}
+	s.Leave("zzz", 7) // unknown host while down: harmless
+	s.RouterUp(2)
+	dr, _ := s.DR()
+	if dr != 2 {
+		t.Fatalf("DR = %d, want 2", dr)
+	}
+	if p.joins[2] == 0 {
+		t.Fatal("membership not re-registered after revival")
+	}
+}
+
+func TestSubnetGuards(t *testing.T) {
+	h, _ := subnetSetup(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty router list accepted")
+			}
+		}()
+		NewSharedSubnet(h)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate routers accepted")
+			}
+		}()
+		NewSharedSubnet(h, 1, 1)
+	}()
+}
+
+func TestIdempotentRouterTransitions(t *testing.T) {
+	h, _ := subnetSetup(t)
+	s := NewSharedSubnet(h, 1, 2)
+	s.RouterUp(1)   // already up: no-op
+	s.RouterDown(3) // not a subnet router... marked dead harmlessly
+	s.RouterDown(1)
+	s.RouterDown(1) // already down: no-op
+	if dr, _ := s.DR(); dr != 2 {
+		t.Fatalf("DR = %d", dr)
+	}
+}
+
+// End-to-end: a DR failover on a shared subnet keeps SCMP delivery
+// working — the new DR joins, the protocol grafts it, data flows.
+func TestSubnetDRFailoverWithSCMP(t *testing.T) {
+	g, err := topology.Random(topology.DefaultRandom(15, 4), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scmp := core.New(core.Config{MRouter: 0, Kappa: 1.5})
+	n := netsim.New(g, scmp)
+	h := NewHosts(n)
+	s := NewSharedSubnet(h, 5, 9)
+	s.Join("laptop", 1)
+	n.Run()
+	seq := n.SendData(0, 1, 100)
+	n.Run()
+	if missing, _ := n.CheckDelivery(seq); len(missing) != 0 {
+		t.Fatalf("pre-failover missing = %v", missing)
+	}
+	s.RouterDown(5)
+	n.Run()
+	seq = n.SendData(0, 1, 100)
+	n.Run()
+	missing, anomalous := n.CheckDelivery(seq)
+	if len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("post-failover: missing=%v anomalous=%v", missing, anomalous)
+	}
+	if !n.IsMember(9, packet.GroupID(1)) || n.IsMember(5, packet.GroupID(1)) {
+		t.Fatal("ground truth membership did not migrate")
+	}
+}

@@ -1,0 +1,153 @@
+// Package metrics accumulates the paper's three network-wide metrics
+// (§IV-B): data overhead and protocol overhead, both measured in
+// link-cost units per packet-link crossing, and maximum end-to-end
+// delay over delivered data packets. Byte counters and per-kind packet
+// counts are kept as supplementary detail.
+package metrics
+
+import (
+	"sort"
+
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// LinkID identifies an undirected link by its normalised endpoints.
+type LinkID struct{ A, B topology.NodeID }
+
+// MkLinkID normalises endpoints so both directions map to one link.
+func MkLinkID(u, v topology.NodeID) LinkID {
+	if u > v {
+		u, v = v, u
+	}
+	return LinkID{u, v}
+}
+
+// Collector accumulates one simulation run's metrics. The zero value is
+// ready to use.
+type Collector struct {
+	dataUnits  float64
+	protoUnits float64
+	dataBytes  int64
+	protoBytes int64
+	crossings  map[packet.Kind]int64
+	linkLoad   map[LinkID]int64
+
+	delivered int64
+	dropped   int64
+	delaySum  float64
+	maxDelay  float64
+}
+
+// OnLink records one packet of the given kind and byte size crossing
+// the link {from,to} of the given cost.
+func (c *Collector) OnLink(from, to topology.NodeID, kind packet.Kind, cost float64, bytes int) {
+	if c.crossings == nil {
+		c.crossings = make(map[packet.Kind]int64)
+	}
+	if c.linkLoad == nil {
+		c.linkLoad = make(map[LinkID]int64)
+	}
+	c.crossings[kind]++
+	c.linkLoad[MkLinkID(from, to)]++
+	if packet.ClassOf(kind) == packet.ClassData {
+		c.dataUnits += cost
+		c.dataBytes += int64(bytes)
+	} else {
+		c.protoUnits += cost
+		c.protoBytes += int64(bytes)
+	}
+}
+
+// OnDeliver records a data packet reaching one group member with the
+// given end-to-end delay.
+func (c *Collector) OnDeliver(delay float64) {
+	c.delivered++
+	c.delaySum += delay
+	if delay > c.maxDelay {
+		c.maxDelay = delay
+	}
+}
+
+// OnDrop records a data packet discarded before reaching a member
+// (RPF failure, off-tree arrival, ...).
+func (c *Collector) OnDrop() { c.dropped++ }
+
+// DataOverhead returns the accumulated data overhead in link-cost units.
+func (c *Collector) DataOverhead() float64 { return c.dataUnits }
+
+// ProtocolOverhead returns the accumulated protocol overhead in
+// link-cost units.
+func (c *Collector) ProtocolOverhead() float64 { return c.protoUnits }
+
+// DataBytes returns total data bytes that crossed links.
+func (c *Collector) DataBytes() int64 { return c.dataBytes }
+
+// ProtocolBytes returns total protocol bytes that crossed links.
+func (c *Collector) ProtocolBytes() int64 { return c.protoBytes }
+
+// Crossings returns how many times packets of kind k crossed a link.
+func (c *Collector) Crossings(k packet.Kind) int64 { return c.crossings[k] }
+
+// LinkLoad returns how many packets (all classes) crossed the
+// undirected link {u,v}.
+func (c *Collector) LinkLoad(u, v topology.NodeID) int64 {
+	return c.linkLoad[MkLinkID(u, v)]
+}
+
+// MaxLinkLoad returns the most-crossed link and its packet count, or a
+// zero LinkID when nothing crossed any link.
+func (c *Collector) MaxLinkLoad() (LinkID, int64) {
+	var best LinkID
+	var max int64
+	ids := make([]LinkID, 0, len(c.linkLoad))
+	for id := range c.linkLoad {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].A != ids[j].A {
+			return ids[i].A < ids[j].A
+		}
+		return ids[i].B < ids[j].B
+	})
+	for _, id := range ids {
+		if n := c.linkLoad[id]; n > max {
+			best, max = id, n
+		}
+	}
+	return best, max
+}
+
+// NodeLoad returns the packets that crossed links incident to v — the
+// traffic funnelled through one router, the paper's "traffic
+// concentration" measure.
+func (c *Collector) NodeLoad(v topology.NodeID) int64 {
+	var sum int64
+	for id, n := range c.linkLoad {
+		if id.A == v || id.B == v {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// Delivered returns the number of member deliveries recorded.
+func (c *Collector) Delivered() int64 { return c.delivered }
+
+// Dropped returns the number of discarded data packets recorded.
+func (c *Collector) Dropped() int64 { return c.dropped }
+
+// MaxEndToEndDelay returns the maximum delivery delay observed.
+func (c *Collector) MaxEndToEndDelay() float64 { return c.maxDelay }
+
+// MeanEndToEndDelay returns the mean delivery delay, or 0 when nothing
+// was delivered.
+func (c *Collector) MeanEndToEndDelay() float64 {
+	if c.delivered == 0 {
+		return 0
+	}
+	return c.delaySum / float64(c.delivered)
+}
+
+// Reset clears every counter.
+func (c *Collector) Reset() { *c = Collector{} }

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"testing"
+
+	"scmp/internal/packet"
+)
+
+func TestClassSplit(t *testing.T) {
+	var c Collector
+	c.OnLink(0, 1, packet.Data, 5, 1000)
+	c.OnLink(1, 0, packet.EncapData, 2, 1000)
+	c.OnLink(1, 2, packet.Join, 3, 64)
+	c.OnLink(2, 1, packet.Tree, 4, 128)
+	if c.DataOverhead() != 7 {
+		t.Fatalf("data overhead = %g, want 7", c.DataOverhead())
+	}
+	if c.ProtocolOverhead() != 7 {
+		t.Fatalf("protocol overhead = %g, want 7", c.ProtocolOverhead())
+	}
+	if c.DataBytes() != 2000 || c.ProtocolBytes() != 192 {
+		t.Fatalf("bytes = %d/%d", c.DataBytes(), c.ProtocolBytes())
+	}
+	if c.Crossings(packet.Data) != 1 || c.Crossings(packet.Join) != 1 {
+		t.Fatal("crossings wrong")
+	}
+	if c.Crossings(packet.Leave) != 0 {
+		t.Fatal("phantom crossing")
+	}
+}
+
+func TestDelays(t *testing.T) {
+	var c Collector
+	if c.MeanEndToEndDelay() != 0 || c.MaxEndToEndDelay() != 0 {
+		t.Fatal("zero-value delays wrong")
+	}
+	c.OnDeliver(1)
+	c.OnDeliver(3)
+	c.OnDrop()
+	if c.Delivered() != 2 || c.Dropped() != 1 {
+		t.Fatalf("delivered=%d dropped=%d", c.Delivered(), c.Dropped())
+	}
+	if c.MeanEndToEndDelay() != 2 {
+		t.Fatalf("mean = %g, want 2", c.MeanEndToEndDelay())
+	}
+	if c.MaxEndToEndDelay() != 3 {
+		t.Fatalf("max = %g, want 3", c.MaxEndToEndDelay())
+	}
+}
+
+func TestLinkLoad(t *testing.T) {
+	var c Collector
+	c.OnLink(0, 1, packet.Data, 1, 1)
+	c.OnLink(1, 0, packet.Data, 1, 1) // both directions count once per link
+	c.OnLink(1, 2, packet.Join, 1, 1)
+	if c.LinkLoad(0, 1) != 2 || c.LinkLoad(1, 0) != 2 {
+		t.Fatalf("LinkLoad(0,1) = %d, want 2", c.LinkLoad(0, 1))
+	}
+	if c.LinkLoad(0, 2) != 0 {
+		t.Fatal("phantom load")
+	}
+	id, n := c.MaxLinkLoad()
+	if id != MkLinkID(1, 0) || n != 2 {
+		t.Fatalf("MaxLinkLoad = %v/%d", id, n)
+	}
+	if c.NodeLoad(1) != 3 {
+		t.Fatalf("NodeLoad(1) = %d, want 3", c.NodeLoad(1))
+	}
+	if c.NodeLoad(0) != 2 || c.NodeLoad(2) != 1 {
+		t.Fatalf("NodeLoad = %d/%d", c.NodeLoad(0), c.NodeLoad(2))
+	}
+}
+
+func TestMaxLinkLoadEmpty(t *testing.T) {
+	var c Collector
+	id, n := c.MaxLinkLoad()
+	if n != 0 || id != (LinkID{}) {
+		t.Fatalf("empty MaxLinkLoad = %v/%d", id, n)
+	}
+}
+
+func TestMkLinkIDNormalises(t *testing.T) {
+	if MkLinkID(5, 2) != MkLinkID(2, 5) {
+		t.Fatal("link id not normalised")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Collector
+	c.OnLink(0, 1, packet.Data, 5, 10)
+	c.OnDeliver(2)
+	c.Reset()
+	if c.DataOverhead() != 0 || c.Delivered() != 0 || c.MaxEndToEndDelay() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	c.OnLink(0, 1, packet.Join, 1, 1) // maps must be rebuilt after reset
+	if c.Crossings(packet.Join) != 1 {
+		t.Fatal("collector unusable after Reset")
+	}
+}

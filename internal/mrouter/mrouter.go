@@ -1,0 +1,212 @@
+// Package mrouter models the m-router's internal data path, the §II-B
+// architecture of Fig. 2(b): input buffers feed an n×n sandwich
+// switching fabric (see internal/fabric) whose merged per-group cells
+// land in output buffers that drain to the network.
+//
+// Time advances in synchronous cell slots. Each slot:
+//
+//  1. every non-empty input buffer offers its head cell to the fabric;
+//  2. the fabric merges the offered cells group-wise (a conference
+//     switch combines simultaneous sources — it never queues one
+//     group member behind another) and delivers each merged cell to
+//     its group's output buffer, dropping it if that buffer is full;
+//  3. every non-empty output buffer transmits one cell to the network.
+//
+// The model exposes the numbers the paper's argument needs: the
+// m-router sustains one merged cell per group per slot regardless of
+// how many sources are active (no cross-group head-of-line blocking),
+// and latency = input queueing + the fabric's pipeline depth + output
+// queueing.
+package mrouter
+
+import (
+	"errors"
+	"fmt"
+
+	"scmp/internal/fabric"
+	"scmp/internal/packet"
+)
+
+// Config sizes the buffers.
+type Config struct {
+	InputDepth  int // cells per input buffer (default 16)
+	OutputDepth int // cells per output buffer (default 16)
+}
+
+// Cell is one fixed-size unit of multicast payload entering an input
+// port. Tag is caller-chosen identity for tracing.
+type Cell struct {
+	Input int
+	Tag   uint64
+	enq   int // slot the cell entered its input buffer
+}
+
+// Merged is one group-merged cell leaving an output port.
+type Merged struct {
+	Slot   int // slot the cell left the m-router
+	Output int
+	Group  packet.GroupID
+	Tags   []uint64 // tags of the merged source cells
+}
+
+// Stats accumulates the data-path counters.
+type Stats struct {
+	Arrived       uint64 // cells accepted into input buffers
+	DroppedInput  uint64 // cells rejected: input buffer full
+	MergedCells   uint64 // merged cells produced by the fabric
+	DroppedOutput uint64 // merged cells dropped: output buffer full
+	Transmitted   uint64 // merged cells sent to the network
+	latencySum    uint64
+}
+
+// MeanLatency returns the mean slots from a source cell's arrival to
+// its merged cell's transmission (including the fabric pipeline).
+func (s Stats) MeanLatency() float64 {
+	if s.Transmitted == 0 {
+		return 0
+	}
+	return float64(s.latencySum) / float64(s.Transmitted)
+}
+
+type mergedQueued struct {
+	group  packet.GroupID
+	tags   []uint64
+	oldest int // earliest enq slot among merged sources
+}
+
+// MRouter is a running data-path instance over a configured fabric.
+type MRouter struct {
+	cfg   Config
+	fcfg  *fabric.Configuration
+	n     int
+	slot  int
+	inQ   [][]Cell
+	outQ  [][]mergedQueued
+	stats Stats
+	out   []Merged
+}
+
+// ErrIdleInput reports a cell arriving on a port no group uses.
+var ErrIdleInput = errors.New("mrouter: cell on an input port no group uses")
+
+// New builds an m-router data path over a fabric configuration.
+func New(fcfg *fabric.Configuration, cfg Config) *MRouter {
+	if cfg.InputDepth <= 0 {
+		cfg.InputDepth = 16
+	}
+	if cfg.OutputDepth <= 0 {
+		cfg.OutputDepth = 16
+	}
+	n := fcfg.N()
+	return &MRouter{
+		cfg:  cfg,
+		fcfg: fcfg,
+		n:    n,
+		inQ:  make([][]Cell, n),
+		outQ: make([][]mergedQueued, n),
+	}
+}
+
+// Slot returns the current slot number.
+func (m *MRouter) Slot() int { return m.slot }
+
+// Stats returns a copy of the counters.
+func (m *MRouter) Stats() Stats { return m.stats }
+
+// Arrive offers a cell to an input buffer. A full buffer drops the cell
+// (counted); an idle port is a caller error.
+func (m *MRouter) Arrive(input int, tag uint64) error {
+	if input < 0 || input >= m.n {
+		return fmt.Errorf("mrouter: input %d out of range", input)
+	}
+	if _, _, ok := m.fcfg.Route(input); !ok {
+		return ErrIdleInput
+	}
+	if len(m.inQ[input]) >= m.cfg.InputDepth {
+		m.stats.DroppedInput++
+		return nil
+	}
+	m.stats.Arrived++
+	m.inQ[input] = append(m.inQ[input], Cell{Input: input, Tag: tag, enq: m.slot})
+	return nil
+}
+
+// Step advances one cell slot and returns the cells transmitted this
+// slot.
+func (m *MRouter) Step() []Merged {
+	// Phase 1+2: heads of input queues go through the fabric, merging
+	// per group output.
+	type agg struct {
+		tags   []uint64
+		oldest int
+		output int
+		group  packet.GroupID
+	}
+	merged := map[packet.GroupID]*agg{}
+	for in := 0; in < m.n; in++ {
+		if len(m.inQ[in]) == 0 {
+			continue
+		}
+		head := m.inQ[in][0]
+		m.inQ[in] = m.inQ[in][1:]
+		out, gid, ok := m.fcfg.Route(in)
+		if !ok {
+			continue // unreachable: Arrive rejects idle ports
+		}
+		a := merged[gid]
+		if a == nil {
+			a = &agg{oldest: head.enq, output: out, group: gid}
+			merged[gid] = a
+		}
+		a.tags = append(a.tags, head.Tag)
+		if head.enq < a.oldest {
+			a.oldest = head.enq
+		}
+	}
+	for _, a := range merged {
+		m.stats.MergedCells++
+		if len(m.outQ[a.output]) >= m.cfg.OutputDepth {
+			m.stats.DroppedOutput++
+			continue
+		}
+		m.outQ[a.output] = append(m.outQ[a.output], mergedQueued{
+			group: a.group, tags: a.tags, oldest: a.oldest,
+		})
+	}
+	// Phase 3: each output port transmits one cell.
+	var sent []Merged
+	txSlot := m.slot + m.fcfg.Stages() // pipeline latency
+	for out := 0; out < m.n; out++ {
+		if len(m.outQ[out]) == 0 {
+			continue
+		}
+		q := m.outQ[out][0]
+		m.outQ[out] = m.outQ[out][1:]
+		m.stats.Transmitted++
+		m.stats.latencySum += uint64(txSlot - q.oldest)
+		sent = append(sent, Merged{Slot: txSlot, Output: out, Group: q.group, Tags: q.tags})
+	}
+	m.out = append(m.out, sent...)
+	m.slot++
+	return sent
+}
+
+// Run advances n slots and returns everything transmitted during them.
+func (m *MRouter) Run(n int) []Merged {
+	start := len(m.out)
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+	return m.out[start:]
+}
+
+// Backlog returns the cells still queued (input and output side).
+func (m *MRouter) Backlog() (inputCells, outputCells int) {
+	for _, q := range m.inQ {
+		inputCells += len(q)
+	}
+	for _, q := range m.outQ {
+		outputCells += len(q)
+	}
+	return
+}

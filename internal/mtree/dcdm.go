@@ -1,0 +1,275 @@
+package mtree
+
+import (
+	"fmt"
+	"math"
+
+	"scmp/internal/topology"
+)
+
+// DCDM is the paper's Delay-Constrained Dynamic Multicast tree algorithm
+// (§III-D, from the authors' ICCCN'05 paper), run centrally at the
+// m-router. It maintains a shared tree rooted at the m-router and
+// updates it incrementally on member joins and leaves:
+//
+//   - The delay bound l is the longest unicast delay among current
+//     members, scaled by the constraint multiplier Kappa (Kappa = 1 is
+//     the paper's "tightest" level; Kappa = +Inf is "loosest").
+//   - When a new member s has unicast delay above l, its shortest-delay
+//     path to the m-router is added and l grows to ul(s).
+//   - Otherwise, among the 2m candidate paths — the least-cost path P_lc
+//     and the shortest-delay path P_sl from s to each of the m on-tree
+//     routers — the cheapest path keeping ml(s) <= l is grafted.
+//   - If the grafted path re-enters the tree, the loop is broken by
+//     pruning the re-entered node's old upstream branch (Fig. 5(c,d)).
+//   - On leave, the branch serving only the leaving member is pruned.
+type DCDM struct {
+	g       *topology.Graph
+	root    topology.NodeID
+	kappa   float64
+	absMax  float64 // optional absolute QoS budget; 0 = none
+	tree    *Tree
+	spDelay topology.AllPairs // P_sl tables, one per source
+	spCost  topology.AllPairs // P_lc tables, one per source
+	maxUL   float64           // longest unicast delay among current members
+}
+
+// JoinResult describes how a join changed the tree, which is what SCMP
+// needs to decide between a BRANCH packet (pure graft) and a TREE packet
+// (restructured tree).
+type JoinResult struct {
+	Member       topology.NodeID
+	AlreadyOn    bool              // s was an on-tree router; no new links
+	Path         []topology.NodeID // grafted path, graft node first, s last
+	Restructured bool              // a loop was broken (old branches pruned)
+	Pruned       []topology.NodeID // routers removed while breaking loops
+	// BestEffort is set when an absolute QoS budget is configured and
+	// the member cannot meet it (its unicast delay already exceeds the
+	// budget): the member is connected by its shortest-delay path, the
+	// best any tree can do.
+	BestEffort bool
+}
+
+// SetQoSBudget imposes an absolute bound on every member's multicast
+// delay (the paper's "QoS constraint on maximum end-to-end delay"),
+// overriding the relative Kappa bound while set. Members whose unicast
+// delay exceeds the budget are admitted best-effort (flagged in
+// JoinResult). A non-positive budget removes the constraint.
+func (d *DCDM) SetQoSBudget(budget float64) {
+	if budget <= 0 {
+		d.absMax = 0
+		return
+	}
+	d.absMax = budget
+}
+
+// QoSBudget returns the absolute budget, 0 when none is set.
+func (d *DCDM) QoSBudget() float64 { return d.absMax }
+
+// LeaveResult describes how a leave changed the tree.
+type LeaveResult struct {
+	Member topology.NodeID
+	Pruned []topology.NodeID // routers removed, leaf upward
+}
+
+// NewDCDM builds a DCDM instance for group trees rooted at root. Kappa
+// scales the delay bound (>= 1, or +Inf for no delay constraint).
+// spDelay/spCost are optional precomputed all-pairs tables (pass nil to
+// compute them here); sharing them across instances makes the Fig. 7
+// sweep cheap.
+func NewDCDM(g *topology.Graph, root topology.NodeID, kappa float64, spDelay, spCost topology.AllPairs) *DCDM {
+	if kappa < 1 {
+		panic(fmt.Sprintf("mtree: DCDM kappa %g < 1 would reject every tree", kappa))
+	}
+	if spDelay == nil {
+		spDelay = topology.NewAllPairs(g, topology.ByDelay)
+	}
+	if spCost == nil {
+		spCost = topology.NewAllPairs(g, topology.ByCost)
+	}
+	return &DCDM{
+		g:       g,
+		root:    root,
+		kappa:   kappa,
+		tree:    NewTree(g, root),
+		spDelay: spDelay,
+		spCost:  spCost,
+	}
+}
+
+// Tree returns the live tree. Callers must treat it as read-only.
+func (d *DCDM) Tree() *Tree { return d.tree }
+
+// Bound returns the current delay bound l: the absolute QoS budget when
+// one is set, otherwise Kappa x the longest member unicast delay. With
+// no members, no budget and finite Kappa the bound is 0.
+func (d *DCDM) Bound() float64 {
+	if d.absMax > 0 {
+		return d.absMax
+	}
+	if math.IsInf(d.kappa, 1) {
+		return math.Inf(1)
+	}
+	return d.kappa * d.maxUL
+}
+
+// UnicastDelay returns ul(v): the shortest-path delay between v and the
+// m-router.
+func (d *DCDM) UnicastDelay(v topology.NodeID) float64 {
+	return d.spDelay[d.root].Delay[v]
+}
+
+// Join adds member router s to the group and updates the tree.
+func (d *DCDM) Join(s topology.NodeID) JoinResult {
+	res := JoinResult{Member: s}
+	ul := d.UnicastDelay(s)
+	if d.tree.OnTree(s) {
+		// Already a relay (or the root itself): just mark membership.
+		res.AlreadyOn = true
+		d.tree.SetMember(s, true)
+		if ul > d.maxUL {
+			d.maxUL = ul
+		}
+		return res
+	}
+	bound := d.Bound()
+	var path []topology.NodeID
+	if ul > bound {
+		// s is farther than the bound allows: connect it by its
+		// shortest-delay path — no tree can serve it faster. Under the
+		// relative bound this also raises the bound; under an absolute
+		// QoS budget the member is flagged best-effort.
+		path = d.spDelay[d.root].To(s)
+		res.BestEffort = d.absMax > 0
+	} else {
+		path = d.bestGraftPath(s, bound)
+	}
+	if path == nil {
+		panic(fmt.Sprintf("mtree: no graft path for %d (disconnected graph?)", s))
+	}
+	res.Path = path
+	res.Pruned, res.Restructured = d.tree.Graft(path)
+	d.tree.SetMember(s, true)
+	if ul > d.maxUL {
+		d.maxUL = ul
+	}
+	return res
+}
+
+// bestGraftPath scans the 2m candidate paths (P_lc and P_sl from s to
+// every on-tree router) and returns the least-cost one whose resulting
+// multicast delay respects the bound, oriented graft-node-first. The
+// shortest-delay path to the root is always feasible, so a path always
+// exists on a connected graph.
+func (d *DCDM) bestGraftPath(s topology.NodeID, bound float64) []topology.NodeID {
+	type cand struct {
+		cost, ml float64
+		node     topology.NodeID
+		sp       *topology.Paths
+	}
+	var best *cand
+	consider := func(v topology.NodeID, sp *topology.Paths) {
+		if !sp.Reachable(v) {
+			return
+		}
+		ml := d.tree.Delay(v) + sp.Delay[v]
+		if ml > bound {
+			return
+		}
+		c := cand{cost: sp.Cost[v], ml: ml, node: v, sp: sp}
+		if best == nil ||
+			c.cost < best.cost ||
+			(c.cost == best.cost && c.ml < best.ml) ||
+			(c.cost == best.cost && c.ml == best.ml && c.node < best.node) {
+			best = &c
+		}
+	}
+	for _, v := range d.tree.Nodes() {
+		consider(v, d.spCost[s])  // P_lc(s, v)
+		consider(v, d.spDelay[s]) // P_sl(s, v)
+	}
+	if best == nil {
+		// Guaranteed fallback: shortest-delay path to the root
+		// (ml = ul(s) <= bound whenever this branch is reached).
+		sp := d.spDelay[d.root]
+		return sp.To(s)
+	}
+	// best.sp paths run s -> v; reverse to graft-node-first order.
+	path := best.sp.To(best.node)
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Leave removes member router s from the group, pruning the branch that
+// served only s (§III-D: prune upstream until a member or a fork).
+func (d *DCDM) Leave(s topology.NodeID) LeaveResult {
+	res := LeaveResult{Member: s, Pruned: d.tree.Leave(s)}
+	// Recompute the bound over the remaining members.
+	d.maxUL = 0
+	for _, m := range d.tree.Members() {
+		if ul := d.UnicastDelay(m); ul > d.maxUL {
+			d.maxUL = ul
+		}
+	}
+	return res
+}
+
+// Graft splices path (which starts at an on-tree router and ends at the
+// joining router) into the tree, breaking any loops the paper's way:
+// when the path re-enters the tree at a node x, x adopts the path as its
+// new upstream and x's old upstream branch is pruned back to a member or
+// fork. It returns the routers pruned while breaking loops and whether
+// any restructuring happened.
+func (t *Tree) Graft(path []topology.NodeID) (pruned []topology.NodeID, restructured bool) {
+	if len(path) == 0 || !t.OnTree(path[0]) {
+		panic("mtree: Graft path must start on the tree")
+	}
+	var orphans []topology.NodeID
+	prev := path[0]
+	for _, x := range path[1:] {
+		switch {
+		case !t.OnTree(x):
+			t.attach(x, prev)
+		case x == t.root, t.isAncestor(x, prev):
+			// Re-parenting x under prev would orphan the root or create
+			// a cycle (prev lives in x's subtree). Abandon the chain
+			// built so far — it dangles and is pruned below — and
+			// continue along the tree from x.
+			if p, ok := t.Parent(x); !ok || p != prev {
+				orphans = append(orphans, prev)
+				restructured = true
+			}
+		case func() bool { p, ok := t.Parent(x); return ok && p == prev }():
+			// The path follows an existing tree edge; nothing to do.
+		default:
+			// Loop detected at x: adopt the new upstream, prune the old
+			// branch upstream until a member or a fork survives.
+			oldParent := t.parent[x]
+			t.reparent(x, prev)
+			pruned = append(pruned, t.PruneFrom(oldParent)...)
+			restructured = true
+		}
+		prev = x
+	}
+	for _, o := range orphans {
+		pruned = append(pruned, t.PruneFrom(o)...)
+	}
+	return pruned, restructured
+}
+
+// isAncestor reports whether a lies on v's path to the root (a == v
+// counts as true).
+func (t *Tree) isAncestor(a, v topology.NodeID) bool {
+	for {
+		if v == a {
+			return true
+		}
+		p, ok := t.parent[v]
+		if !ok {
+			return false
+		}
+		v = p
+	}
+}

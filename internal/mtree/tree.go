@@ -1,0 +1,294 @@
+// Package mtree implements rooted multicast trees over a topology graph
+// and the three tree-construction algorithms compared in the paper's
+// Fig. 7: DCDM (the authors' Delay-Constrained Dynamic Multicast
+// heuristic, used by SCMP), KMB (the Kou–Markowsky–Berman Steiner-tree
+// approximation, the min-cost baseline) and SPT (shortest-delay-path
+// tree, the DVMRP/MOSPF/CBT baseline).
+package mtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scmp/internal/topology"
+)
+
+// Tree is a multicast tree rooted at the m-router. Every on-tree node
+// except the root has exactly one upstream (parent); the set of member
+// nodes marks routers whose subnets contain group members. Non-member
+// relay nodes may appear anywhere except as leaves (the algorithms prune
+// non-member leaves).
+type Tree struct {
+	g        *topology.Graph
+	root     topology.NodeID
+	parent   map[topology.NodeID]topology.NodeID
+	children map[topology.NodeID]map[topology.NodeID]bool
+	members  map[topology.NodeID]bool
+}
+
+// NewTree returns a tree containing only the root (the m-router).
+func NewTree(g *topology.Graph, root topology.NodeID) *Tree {
+	if root < 0 || int(root) >= g.N() {
+		panic(fmt.Sprintf("mtree: root %d out of range", root))
+	}
+	return &Tree{
+		g:        g,
+		root:     root,
+		parent:   make(map[topology.NodeID]topology.NodeID),
+		children: make(map[topology.NodeID]map[topology.NodeID]bool),
+		members:  make(map[topology.NodeID]bool),
+	}
+}
+
+// Root returns the tree root (the m-router).
+func (t *Tree) Root() topology.NodeID { return t.root }
+
+// Graph returns the underlying topology.
+func (t *Tree) Graph() *topology.Graph { return t.g }
+
+// OnTree reports whether v is currently on the tree.
+func (t *Tree) OnTree(v topology.NodeID) bool {
+	if v == t.root {
+		return true
+	}
+	_, ok := t.parent[v]
+	return ok
+}
+
+// Parent returns v's upstream router; ok is false for the root and for
+// off-tree nodes.
+func (t *Tree) Parent(v topology.NodeID) (topology.NodeID, bool) {
+	p, ok := t.parent[v]
+	return p, ok
+}
+
+// Children returns v's downstream routers, sorted for determinism.
+func (t *Tree) Children(v topology.NodeID) []topology.NodeID {
+	set := t.children[v]
+	out := make([]topology.NodeID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsMember reports whether v is marked as a member router.
+func (t *Tree) IsMember(v topology.NodeID) bool { return t.members[v] }
+
+// SetMember marks or unmarks v as a member router. v must be on the tree
+// to be marked.
+func (t *Tree) SetMember(v topology.NodeID, member bool) {
+	if member {
+		if !t.OnTree(v) {
+			panic(fmt.Sprintf("mtree: SetMember(%d) off tree", v))
+		}
+		t.members[v] = true
+	} else {
+		delete(t.members, v)
+	}
+}
+
+// Members returns the member routers, sorted.
+func (t *Tree) Members() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(t.members))
+	for v := range t.members {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes returns every on-tree node, sorted, root included.
+func (t *Tree) Nodes() []topology.NodeID {
+	out := []topology.NodeID{t.root}
+	for v := range t.parent {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of on-tree nodes.
+func (t *Tree) Size() int { return len(t.parent) + 1 }
+
+// attach links child under parent; both must be adjacent in the graph
+// and child must not already be on the tree.
+func (t *Tree) attach(child, parent topology.NodeID) {
+	if t.OnTree(child) {
+		panic(fmt.Sprintf("mtree: attach(%d) already on tree", child))
+	}
+	if !t.OnTree(parent) {
+		panic(fmt.Sprintf("mtree: attach under off-tree parent %d", parent))
+	}
+	if _, ok := t.g.Edge(child, parent); !ok {
+		panic(fmt.Sprintf("mtree: attach %d under non-adjacent %d", child, parent))
+	}
+	t.parent[child] = parent
+	if t.children[parent] == nil {
+		t.children[parent] = make(map[topology.NodeID]bool)
+	}
+	t.children[parent][child] = true
+}
+
+// detach unlinks v from its parent, leaving v's subtree hanging off v.
+func (t *Tree) detach(v topology.NodeID) {
+	p, ok := t.parent[v]
+	if !ok {
+		return
+	}
+	delete(t.parent, v)
+	delete(t.children[p], v)
+	if len(t.children[p]) == 0 {
+		delete(t.children, p)
+	}
+}
+
+// reparent moves on-tree node v (and its whole subtree) under newParent.
+func (t *Tree) reparent(v, newParent topology.NodeID) {
+	if !t.OnTree(v) || v == t.root {
+		panic(fmt.Sprintf("mtree: reparent(%d) invalid", v))
+	}
+	if _, ok := t.g.Edge(v, newParent); !ok {
+		panic(fmt.Sprintf("mtree: reparent %d under non-adjacent %d", v, newParent))
+	}
+	t.detach(v)
+	t.parent[v] = newParent
+	if t.children[newParent] == nil {
+		t.children[newParent] = make(map[topology.NodeID]bool)
+	}
+	t.children[newParent][v] = true
+}
+
+// PruneFrom removes v if it is a removable leaf (non-member, childless,
+// not root), then walks upstream removing newly exposed removable leaves;
+// this is the hop-by-hop PRUNE of §III-C and the leave handling of
+// §III-D. It returns the nodes removed, bottom-up.
+func (t *Tree) PruneFrom(v topology.NodeID) []topology.NodeID {
+	var removed []topology.NodeID
+	for v != t.root && t.OnTree(v) && !t.members[v] && len(t.children[v]) == 0 {
+		p := t.parent[v]
+		t.detach(v)
+		removed = append(removed, v)
+		v = p
+	}
+	return removed
+}
+
+// Leave unmarks v as a member and prunes any branch it no longer
+// justifies. It returns the routers removed from the tree.
+func (t *Tree) Leave(v topology.NodeID) []topology.NodeID {
+	delete(t.members, v)
+	return t.PruneFrom(v)
+}
+
+// Cost returns the tree cost: the sum of link costs over tree edges.
+func (t *Tree) Cost() float64 {
+	sum := 0.0
+	for v, p := range t.parent {
+		l, ok := t.g.Edge(v, p)
+		if !ok {
+			panic("mtree: tree edge not in graph")
+		}
+		sum += l.Cost
+	}
+	return sum
+}
+
+// Delay returns the multicast delay ml(v): the delay of the unique tree
+// path from the root to v. It returns +Inf for off-tree nodes.
+func (t *Tree) Delay(v topology.NodeID) float64 {
+	if !t.OnTree(v) {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for v != t.root {
+		p := t.parent[v]
+		l, _ := t.g.Edge(v, p)
+		sum += l.Delay
+		v = p
+	}
+	return sum
+}
+
+// TreeDelay returns the longest multicast delay over all members (the
+// paper's "tree delay"). It is 0 for a tree with no members.
+func (t *Tree) TreeDelay() float64 {
+	max := 0.0
+	for v := range t.members {
+		if d := t.Delay(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// PathToRoot returns the tree path v -> root inclusive, or nil when v is
+// off tree.
+func (t *Tree) PathToRoot(v topology.NodeID) []topology.NodeID {
+	if !t.OnTree(v) {
+		return nil
+	}
+	path := []topology.NodeID{v}
+	for v != t.root {
+		v = t.parent[v]
+		path = append(path, v)
+	}
+	return path
+}
+
+// Edges returns the set of (child, parent) tree edges, for visualisation.
+func (t *Tree) Edges() map[[2]topology.NodeID]bool {
+	out := make(map[[2]topology.NodeID]bool, len(t.parent))
+	for v, p := range t.parent {
+		out[[2]topology.NodeID{v, p}] = true
+	}
+	return out
+}
+
+// Validate checks the structural invariants: every non-root node has a
+// parent chain reaching the root with no cycles, every tree edge exists
+// in the graph, children maps mirror parent maps, every member is on the
+// tree, and every leaf is a member or the root.
+func (t *Tree) Validate() error {
+	for v, p := range t.parent {
+		if _, ok := t.g.Edge(v, p); !ok {
+			return fmt.Errorf("mtree: edge %d->%d not in graph", v, p)
+		}
+		if t.children[p] == nil || !t.children[p][v] {
+			return fmt.Errorf("mtree: child map missing %d under %d", v, p)
+		}
+		seen := map[topology.NodeID]bool{v: true}
+		cur := v
+		for cur != t.root {
+			next, ok := t.parent[cur]
+			if !ok {
+				return fmt.Errorf("mtree: %d's chain dead-ends at %d", v, cur)
+			}
+			if seen[next] {
+				return fmt.Errorf("mtree: cycle through %d", next)
+			}
+			seen[next] = true
+			cur = next
+		}
+	}
+	for p, kids := range t.children {
+		for c := range kids {
+			if t.parent[c] != p {
+				return fmt.Errorf("mtree: children map claims %d under %d", c, p)
+			}
+		}
+	}
+	for m := range t.members {
+		if !t.OnTree(m) {
+			return fmt.Errorf("mtree: member %d off tree", m)
+		}
+	}
+	for v := range t.parent {
+		if len(t.children[v]) == 0 && !t.members[v] {
+			return fmt.Errorf("mtree: non-member leaf %d", v)
+		}
+	}
+	return nil
+}

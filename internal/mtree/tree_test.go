@@ -1,0 +1,225 @@
+package mtree
+
+import (
+	"math"
+	"testing"
+
+	"scmp/internal/topology"
+)
+
+// chainGraph returns 0-1-2-...-(n-1) with delay 1, cost 2 per link.
+func chainGraph(n int) *topology.Graph {
+	g := topology.New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(topology.NodeID(i), topology.NodeID(i+1), 1, 2)
+	}
+	return g
+}
+
+// chainTree builds a tree 0 -> 1 -> ... -> (k) on chainGraph.
+func chainTree(t *testing.T, g *topology.Graph, k int) *Tree {
+	t.Helper()
+	tr := NewTree(g, 0)
+	for i := 1; i <= k; i++ {
+		tr.attach(topology.NodeID(i), topology.NodeID(i-1))
+	}
+	return tr
+}
+
+func TestNewTreeRootOnly(t *testing.T) {
+	g := chainGraph(3)
+	tr := NewTree(g, 0)
+	if !tr.OnTree(0) || tr.OnTree(1) {
+		t.Fatal("fresh tree should contain exactly the root")
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if tr.Cost() != 0 || tr.TreeDelay() != 0 {
+		t.Fatalf("empty tree cost=%g delay=%g", tr.Cost(), tr.TreeDelay())
+	}
+	if _, ok := tr.Parent(0); ok {
+		t.Fatal("root must have no parent")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachAndMetrics(t *testing.T) {
+	g := chainGraph(4)
+	tr := chainTree(t, g, 3)
+	tr.SetMember(3, true)
+	tr.SetMember(2, true)
+	if tr.Cost() != 6 { // 3 edges x cost 2
+		t.Fatalf("Cost = %g, want 6", tr.Cost())
+	}
+	if tr.Delay(3) != 3 || tr.Delay(2) != 2 || tr.Delay(0) != 0 {
+		t.Fatalf("delays = %g %g %g", tr.Delay(3), tr.Delay(2), tr.Delay(0))
+	}
+	if tr.TreeDelay() != 3 {
+		t.Fatalf("TreeDelay = %g, want 3", tr.TreeDelay())
+	}
+	if !math.IsInf(tr.Delay(99), 1) {
+		t.Fatal("off-tree delay should be +Inf")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachPanics(t *testing.T) {
+	g := chainGraph(4)
+	tr := chainTree(t, g, 2)
+	for name, fn := range map[string]func(){
+		"already on tree":     func() { tr.attach(1, 0) },
+		"off-tree parent":     func() { tr.attach(3, 99) },
+		"non-adjacent parent": func() { tr.attach(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetMemberOffTreePanics(t *testing.T) {
+	g := chainGraph(3)
+	tr := NewTree(g, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.SetMember(2, true)
+}
+
+func TestLeavePrunesBranch(t *testing.T) {
+	g := chainGraph(5)
+	tr := chainTree(t, g, 4)
+	tr.SetMember(2, true)
+	tr.SetMember(4, true)
+	removed := tr.Leave(4)
+	if len(removed) != 2 || removed[0] != 4 || removed[1] != 3 {
+		t.Fatalf("removed = %v, want [4 3]", removed)
+	}
+	if tr.OnTree(3) || tr.OnTree(4) {
+		t.Fatal("pruned nodes still on tree")
+	}
+	if !tr.OnTree(2) || !tr.IsMember(2) {
+		t.Fatal("member 2 must survive")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveStopsAtFork(t *testing.T) {
+	// 0 -> 1 -> 2 and 1 -> 3 on a star-ish graph.
+	g := topology.New(4)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	g.MustAddEdge(1, 3, 1, 1)
+	tr := NewTree(g, 0)
+	tr.attach(1, 0)
+	tr.attach(2, 1)
+	tr.attach(3, 1)
+	tr.SetMember(2, true)
+	tr.SetMember(3, true)
+	removed := tr.Leave(3)
+	if len(removed) != 1 || removed[0] != 3 {
+		t.Fatalf("removed = %v, want [3]", removed)
+	}
+	if !tr.OnTree(1) || !tr.OnTree(2) {
+		t.Fatal("fork node or sibling branch pruned")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveNonLeafMemberKeepsBranch(t *testing.T) {
+	g := chainGraph(4)
+	tr := chainTree(t, g, 3)
+	tr.SetMember(1, true)
+	tr.SetMember(3, true)
+	removed := tr.Leave(1) // interior member: tree unchanged
+	if len(removed) != 0 {
+		t.Fatalf("removed = %v, want none", removed)
+	}
+	if !tr.OnTree(1) {
+		t.Fatal("relay node 1 must stay (still carries 3)")
+	}
+}
+
+func TestPruneFromRootIsNoop(t *testing.T) {
+	g := chainGraph(2)
+	tr := NewTree(g, 0)
+	if got := tr.PruneFrom(0); len(got) != 0 {
+		t.Fatalf("pruned root: %v", got)
+	}
+	if !tr.OnTree(0) {
+		t.Fatal("root removed")
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	g := chainGraph(4)
+	tr := chainTree(t, g, 3)
+	p := tr.PathToRoot(3)
+	want := []topology.NodeID{3, 2, 1, 0}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if tr.PathToRoot(99) != nil {
+		t.Fatal("off-tree path should be nil")
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	g := topology.New(4)
+	g.MustAddEdge(0, 3, 1, 1)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(0, 2, 1, 1)
+	tr := NewTree(g, 0)
+	tr.attach(3, 0)
+	tr.attach(1, 0)
+	tr.attach(2, 0)
+	kids := tr.Children(0)
+	for i := 1; i < len(kids); i++ {
+		if kids[i-1] >= kids[i] {
+			t.Fatalf("children unsorted: %v", kids)
+		}
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := chainGraph(3)
+	tr := chainTree(t, g, 2)
+	e := tr.Edges()
+	if len(e) != 2 || !e[[2]topology.NodeID{1, 0}] || !e[[2]topology.NodeID{2, 1}] {
+		t.Fatalf("Edges = %v", e)
+	}
+}
+
+func TestValidateCatchesNonMemberLeaf(t *testing.T) {
+	g := chainGraph(3)
+	tr := chainTree(t, g, 2)
+	// Node 2 is a childless non-member.
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted a non-member leaf")
+	}
+	tr.SetMember(2, true)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

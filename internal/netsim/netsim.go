@@ -1,0 +1,288 @@
+// Package netsim is the packet-level network simulator the protocols run
+// on — the offline stand-in for NS-2. It combines a topology graph, the
+// discrete-event scheduler, per-link packet transmission with delay, a
+// unicast shortest-delay routing substrate (the "link state unicast
+// routing protocol" every domain is assumed to run), metrics accounting
+// per the paper's definitions, and ground-truth delivery tracking so
+// tests can assert exactly-once delivery to every group member.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"scmp/internal/des"
+	"scmp/internal/metrics"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// Packet is one simulated packet. Protocols never mutate a received
+// packet; forwarding goes through Network.SendLink, which copies it.
+type Packet struct {
+	Kind    packet.Kind
+	Group   packet.GroupID
+	Src     topology.NodeID // originating router
+	From    topology.NodeID // previous hop, set on delivery
+	Dst     topology.NodeID // unicast destination, when meaningful
+	Seq     uint64          // data-packet identity for delivery tracking
+	Version uint64          // SCMP tree-distribution version
+	Payload []byte
+	Size    int
+	Created des.Time // when the original data packet entered the network
+}
+
+// Protocol is a multicast routing protocol under test. One Protocol
+// instance manages per-router state for every router in the domain
+// (routers are identified by NodeID in each call).
+type Protocol interface {
+	// Name identifies the protocol in reports ("SCMP", "DVMRP", ...).
+	Name() string
+	// Attach wires the protocol to a network. Called exactly once.
+	Attach(n *Network)
+	// HandlePacket processes a packet arriving at a router.
+	HandlePacket(node topology.NodeID, pkt *Packet)
+	// HostJoin tells the designated router that its subnet gained the
+	// first member host of group g (IGMP report edge).
+	HostJoin(node topology.NodeID, g packet.GroupID)
+	// HostLeave tells the designated router that its subnet lost the
+	// last member host of group g (IGMP leave edge).
+	HostLeave(node topology.NodeID, g packet.GroupID)
+	// SendData injects one data packet for group g at source router src.
+	// The source may or may not be a group member.
+	SendData(src topology.NodeID, g packet.GroupID, size int, seq uint64)
+}
+
+// delivery tracks who should and did receive one data packet.
+type delivery struct {
+	expected map[topology.NodeID]bool
+	received map[topology.NodeID]int
+}
+
+// Network is one simulated domain.
+type Network struct {
+	G       *topology.Graph
+	Sched   *des.Scheduler
+	Metrics *metrics.Collector
+	Next    [][]topology.NodeID // unicast next hops by shortest delay
+	Proto   Protocol
+
+	seq        uint64
+	members    map[packet.GroupID]map[topology.NodeID]bool
+	deliveries map[uint64]*delivery
+
+	// Trace, when set, observes every link crossing (for debugging and
+	// the examples' live narration).
+	Trace func(from, to topology.NodeID, pkt *Packet)
+
+	// Bandwidth, when positive, gives every link a finite capacity in
+	// bytes per second: packets serialise per link direction, so a
+	// packet's total latency is queueing + transmission (size/Bandwidth)
+	// + propagation — the paper's three-component link delay. Zero (the
+	// default) models infinite capacity: propagation only.
+	Bandwidth float64
+	busyUntil map[dirLink]des.Time
+}
+
+// dirLink is a directed link (queueing is per transmit side).
+type dirLink struct{ from, to topology.NodeID }
+
+// New builds a network over g running proto. It precomputes the unicast
+// next-hop tables and attaches the protocol.
+func New(g *topology.Graph, proto Protocol) *Network {
+	n := &Network{
+		G:          g,
+		Sched:      des.New(),
+		Metrics:    &metrics.Collector{},
+		Next:       topology.NextHop(g),
+		Proto:      proto,
+		members:    make(map[packet.GroupID]map[topology.NodeID]bool),
+		deliveries: make(map[uint64]*delivery),
+		busyUntil:  make(map[dirLink]des.Time),
+	}
+	proto.Attach(n)
+	return n
+}
+
+// linkLatency returns when a packet offered now on from->to is
+// delivered, accounting for queueing and transmission when a finite
+// Bandwidth is set, and updates the link's busy horizon.
+func (n *Network) linkLatency(from, to topology.NodeID, propagation float64, size int) des.Time {
+	now := n.Sched.Now()
+	if n.Bandwidth <= 0 {
+		return now + des.Time(propagation)
+	}
+	key := dirLink{from, to}
+	start := now
+	if b := n.busyUntil[key]; b > start {
+		start = b
+	}
+	tx := des.Time(float64(size) / n.Bandwidth)
+	n.busyUntil[key] = start + tx
+	return start + tx + des.Time(propagation)
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() des.Time { return n.Sched.Now() }
+
+// SendLink transmits a copy of pkt from one router to an adjacent one:
+// it accounts the link crossing and schedules HandlePacket at the
+// far end after the link delay.
+func (n *Network) SendLink(from, to topology.NodeID, pkt *Packet) {
+	l, ok := n.G.Edge(from, to)
+	if !ok {
+		panic(fmt.Sprintf("netsim: SendLink %d->%d not adjacent", from, to))
+	}
+	cp := *pkt
+	cp.From = from
+	cp.Payload = pkt.Payload // shared read-only
+	n.Metrics.OnLink(from, to, cp.Kind, l.Cost, cp.Size)
+	if n.Trace != nil {
+		n.Trace(from, to, &cp)
+	}
+	n.Sched.At(n.linkLatency(from, to, l.Delay, cp.Size), func() {
+		n.Proto.HandlePacket(to, &cp)
+	})
+}
+
+// SendUnicast routes a copy of pkt hop-by-hop from src to pkt.Dst along
+// the unicast substrate. Intermediate routers forward below the
+// multicast protocol (the crossing is accounted but HandlePacket fires
+// only at the destination). Delivering to self is immediate.
+func (n *Network) SendUnicast(src topology.NodeID, pkt *Packet) {
+	dst := pkt.Dst
+	if src == dst {
+		cp := *pkt
+		cp.From = src
+		n.Sched.After(0, func() { n.Proto.HandlePacket(dst, &cp) })
+		return
+	}
+	n.unicastStep(src, pkt)
+}
+
+func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
+	nh := n.Next[at][pkt.Dst]
+	if nh == -1 {
+		panic(fmt.Sprintf("netsim: no unicast route %d->%d", at, pkt.Dst))
+	}
+	l, _ := n.G.Edge(at, nh)
+	cp := *pkt
+	cp.From = at
+	n.Metrics.OnLink(at, nh, cp.Kind, l.Cost, cp.Size)
+	if n.Trace != nil {
+		n.Trace(at, nh, &cp)
+	}
+	n.Sched.At(n.linkLatency(at, nh, l.Delay, cp.Size), func() {
+		if nh == cp.Dst {
+			n.Proto.HandlePacket(nh, &cp)
+		} else {
+			n.unicastStep(nh, &cp)
+		}
+	})
+}
+
+// UnicastPath returns the unicast route src -> dst as a node sequence.
+func (n *Network) UnicastPath(src, dst topology.NodeID) []topology.NodeID {
+	path := []topology.NodeID{src}
+	for at := src; at != dst; {
+		nh := n.Next[at][dst]
+		if nh == -1 {
+			return nil
+		}
+		path = append(path, nh)
+		at = nh
+	}
+	return path
+}
+
+// HostJoin registers a member-host edge at router node (ground truth)
+// and informs the protocol.
+func (n *Network) HostJoin(node topology.NodeID, g packet.GroupID) {
+	if n.members[g] == nil {
+		n.members[g] = make(map[topology.NodeID]bool)
+	}
+	n.members[g][node] = true
+	n.Proto.HostJoin(node, g)
+}
+
+// HostLeave removes the member-host edge at router node and informs the
+// protocol.
+func (n *Network) HostLeave(node topology.NodeID, g packet.GroupID) {
+	delete(n.members[g], node)
+	n.Proto.HostLeave(node, g)
+}
+
+// Members returns the ground-truth member routers of g, sorted.
+func (n *Network) Members(g packet.GroupID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(n.members[g]))
+	for v := range n.members[g] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsMember reports ground-truth membership.
+func (n *Network) IsMember(node topology.NodeID, g packet.GroupID) bool {
+	return n.members[g][node]
+}
+
+// SendData injects one data packet at src for group g, snapshotting the
+// current member set as the expected receivers. It returns the packet's
+// sequence number for delivery checking.
+func (n *Network) SendData(src topology.NodeID, g packet.GroupID, size int) uint64 {
+	n.seq++
+	seq := n.seq
+	exp := make(map[topology.NodeID]bool, len(n.members[g]))
+	for v := range n.members[g] {
+		if v != src { // a sending member does not deliver to itself over the network
+			exp[v] = true
+		}
+	}
+	n.deliveries[seq] = &delivery{expected: exp, received: make(map[topology.NodeID]int)}
+	n.Proto.SendData(src, g, size, seq)
+	return seq
+}
+
+// DeliverLocal is called by protocols when a data packet reaches a
+// router with local member hosts. It feeds the delay metric and the
+// delivery record.
+func (n *Network) DeliverLocal(node topology.NodeID, pkt *Packet) {
+	n.Metrics.OnDeliver(float64(n.Sched.Now() - pkt.Created))
+	if d := n.deliveries[pkt.Seq]; d != nil {
+		d.received[node]++
+	}
+}
+
+// DropData is called by protocols when they discard a data packet.
+func (n *Network) DropData() { n.Metrics.OnDrop() }
+
+// CheckDelivery compares a data packet's deliveries against the member
+// snapshot taken at send time. It returns the members that never
+// received it and the routers that received it more than once (or were
+// not expected to deliver at all).
+func (n *Network) CheckDelivery(seq uint64) (missing, anomalous []topology.NodeID) {
+	d := n.deliveries[seq]
+	if d == nil {
+		return nil, nil
+	}
+	for v := range d.expected {
+		if d.received[v] == 0 {
+			missing = append(missing, v)
+		}
+	}
+	for v, c := range d.received {
+		if c > 1 || !d.expected[v] {
+			anomalous = append(anomalous, v)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	sort.Slice(anomalous, func(i, j int) bool { return anomalous[i] < anomalous[j] })
+	return missing, anomalous
+}
+
+// Run drains all pending events (the network quiesces).
+func (n *Network) Run() { n.Sched.Run() }
+
+// RunUntil advances simulated time to the deadline.
+func (n *Network) RunUntil(t des.Time) { n.Sched.RunUntil(t) }

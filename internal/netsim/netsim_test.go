@@ -1,0 +1,293 @@
+package netsim
+
+import (
+	"testing"
+
+	"scmp/internal/des"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// echoProto records every packet it sees and can deliver data locally at
+// configured member nodes.
+type echoProto struct {
+	net     *Network
+	got     []recorded
+	members map[topology.NodeID]bool
+	onData  func(node topology.NodeID, pkt *Packet)
+	joined  []topology.NodeID
+	left    []topology.NodeID
+}
+
+type recorded struct {
+	node topology.NodeID
+	pkt  Packet
+}
+
+func (e *echoProto) Name() string      { return "echo" }
+func (e *echoProto) Attach(n *Network) { e.net = n }
+func (e *echoProto) HandlePacket(node topology.NodeID, pkt *Packet) {
+	e.got = append(e.got, recorded{node, *pkt})
+	if pkt.Kind == packet.Data && e.onData != nil {
+		e.onData(node, pkt)
+	}
+}
+func (e *echoProto) HostJoin(node topology.NodeID, g packet.GroupID) {
+	e.joined = append(e.joined, node)
+}
+func (e *echoProto) HostLeave(node topology.NodeID, g packet.GroupID) { e.left = append(e.left, node) }
+func (e *echoProto) SendData(src topology.NodeID, g packet.GroupID, size int, seq uint64) {
+	for _, l := range e.net.G.Neighbors(src) {
+		e.net.SendLink(src, l.To, &Packet{Kind: packet.Data, Group: g, Src: src, Seq: seq, Size: size, Created: e.net.Now()})
+	}
+}
+
+func lineGraph(n int) *topology.Graph {
+	g := topology.New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(topology.NodeID(i), topology.NodeID(i+1), 2, 5)
+	}
+	return g
+}
+
+func TestSendLinkDelayAndAccounting(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(3), p)
+	n.SendLink(0, 1, &Packet{Kind: packet.Join, Size: 64})
+	n.Run()
+	if len(p.got) != 1 {
+		t.Fatalf("packets = %d", len(p.got))
+	}
+	if p.got[0].node != 1 || p.got[0].pkt.From != 0 {
+		t.Fatalf("delivered at %d from %d", p.got[0].node, p.got[0].pkt.From)
+	}
+	if n.Sched.Now() != 2 {
+		t.Fatalf("clock = %v, want link delay 2", n.Sched.Now())
+	}
+	if n.Metrics.ProtocolOverhead() != 5 {
+		t.Fatalf("protocol overhead = %g, want link cost 5", n.Metrics.ProtocolOverhead())
+	}
+}
+
+func TestSendLinkNonAdjacentPanics(t *testing.T) {
+	n := New(lineGraph(3), &echoProto{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.SendLink(0, 2, &Packet{Kind: packet.Join})
+}
+
+func TestSendUnicastTunnelsThroughIntermediates(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(4), p)
+	n.SendUnicast(0, &Packet{Kind: packet.Join, Dst: 3, Size: 64})
+	n.Run()
+	// The protocol must see the packet only at the destination…
+	if len(p.got) != 1 || p.got[0].node != 3 {
+		t.Fatalf("got = %+v, want single delivery at 3", p.got)
+	}
+	// …with the previous hop visible…
+	if p.got[0].pkt.From != 2 {
+		t.Fatalf("From = %d, want 2", p.got[0].pkt.From)
+	}
+	// …but every link crossing accounted (3 links x cost 5).
+	if n.Metrics.ProtocolOverhead() != 15 {
+		t.Fatalf("protocol overhead = %g, want 15", n.Metrics.ProtocolOverhead())
+	}
+	if n.Sched.Now() != 6 {
+		t.Fatalf("clock = %v, want 6", n.Sched.Now())
+	}
+}
+
+func TestSendUnicastToSelf(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(2), p)
+	n.SendUnicast(1, &Packet{Kind: packet.Leave, Dst: 1})
+	n.Run()
+	if len(p.got) != 1 || p.got[0].node != 1 {
+		t.Fatalf("got = %+v", p.got)
+	}
+	if n.Metrics.ProtocolOverhead() != 0 {
+		t.Fatal("self-delivery must not touch any link")
+	}
+}
+
+func TestUnicastPath(t *testing.T) {
+	n := New(lineGraph(4), &echoProto{})
+	path := n.UnicastPath(0, 3)
+	want := []topology.NodeID{0, 1, 2, 3}
+	if len(path) != 4 {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if got := n.UnicastPath(2, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("self path = %v", got)
+	}
+}
+
+func TestMembershipGroundTruth(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(3), p)
+	n.HostJoin(2, 9)
+	n.HostJoin(0, 9)
+	n.HostJoin(0, 7)
+	if got := n.Members(9); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Members(9) = %v", got)
+	}
+	if !n.IsMember(0, 7) || n.IsMember(2, 7) {
+		t.Fatal("IsMember wrong")
+	}
+	n.HostLeave(0, 9)
+	if got := n.Members(9); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Members(9) after leave = %v", got)
+	}
+	if len(p.joined) != 3 || len(p.left) != 1 {
+		t.Fatalf("protocol callbacks: %d joins, %d leaves", len(p.joined), len(p.left))
+	}
+}
+
+func TestDeliveryTracking(t *testing.T) {
+	p := &echoProto{members: map[topology.NodeID]bool{1: true, 2: true}}
+	p.onData = func(node topology.NodeID, pkt *Packet) {
+		if p.members[node] {
+			p.net.DeliverLocal(node, pkt)
+		}
+		// naive flood one more hop to reach node 2 on the line
+		if node == 1 {
+			p.net.SendLink(1, 2, pkt)
+		}
+	}
+	n := New(lineGraph(3), p)
+	n.HostJoin(1, 5)
+	n.HostJoin(2, 5)
+	seq := n.SendData(0, 5, 1000)
+	n.Run()
+	missing, anomalous := n.CheckDelivery(seq)
+	if len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("missing=%v anomalous=%v", missing, anomalous)
+	}
+	if n.Metrics.Delivered() != 2 {
+		t.Fatalf("delivered = %d", n.Metrics.Delivered())
+	}
+	// End-to-end delay to node 2 is two hops at delay 2.
+	if n.Metrics.MaxEndToEndDelay() != 4 {
+		t.Fatalf("max delay = %g, want 4", n.Metrics.MaxEndToEndDelay())
+	}
+	// Data overhead: links 0-1 and 1-2, cost 5 each.
+	if n.Metrics.DataOverhead() != 10 {
+		t.Fatalf("data overhead = %g, want 10", n.Metrics.DataOverhead())
+	}
+}
+
+func TestCheckDeliveryDetectsProblems(t *testing.T) {
+	p := &echoProto{}
+	p.onData = func(node topology.NodeID, pkt *Packet) {
+		// Deliver twice at node 1 (anomaly), never at node 2 (missing).
+		if node == 1 {
+			p.net.DeliverLocal(node, pkt)
+			p.net.DeliverLocal(node, pkt)
+		}
+	}
+	n := New(lineGraph(3), p)
+	n.HostJoin(1, 5)
+	n.HostJoin(2, 5)
+	seq := n.SendData(0, 5, 100)
+	n.Run()
+	missing, anomalous := n.CheckDelivery(seq)
+	if len(missing) != 1 || missing[0] != 2 {
+		t.Fatalf("missing = %v, want [2]", missing)
+	}
+	if len(anomalous) != 1 || anomalous[0] != 1 {
+		t.Fatalf("anomalous = %v, want [1]", anomalous)
+	}
+}
+
+func TestSenderExcludedFromExpected(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(2), p)
+	n.HostJoin(0, 5)
+	seq := n.SendData(0, 5, 100) // the only member is the sender itself
+	n.Run()
+	missing, anomalous := n.CheckDelivery(seq)
+	if len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("missing=%v anomalous=%v", missing, anomalous)
+	}
+}
+
+func TestCheckDeliveryUnknownSeq(t *testing.T) {
+	n := New(lineGraph(2), &echoProto{})
+	missing, anomalous := n.CheckDelivery(42)
+	if missing != nil || anomalous != nil {
+		t.Fatal("unknown seq should yield nils")
+	}
+}
+
+func TestFiniteBandwidthAddsTransmission(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(2), p)
+	n.Bandwidth = 100 // bytes/s: a 50-byte packet takes 0.5 s to transmit
+	n.SendLink(0, 1, &Packet{Kind: packet.Data, Size: 50})
+	n.Run()
+	// transmission 0.5 + propagation 2.
+	if n.Sched.Now() != 2.5 {
+		t.Fatalf("delivery at %v, want 2.5", n.Sched.Now())
+	}
+}
+
+func TestFiniteBandwidthSerialisesLink(t *testing.T) {
+	// Two back-to-back packets on the same link direction queue: the
+	// second starts transmitting only when the first finishes.
+	var arrivals []des.Time
+	p2 := &echoProto{}
+	n2 := New(lineGraph(2), p2)
+	n2.Bandwidth = 100
+	p2.onData = func(node topology.NodeID, pkt *Packet) {
+		arrivals = append(arrivals, n2.Sched.Now())
+	}
+	n2.SendLink(0, 1, &Packet{Kind: packet.Data, Size: 50, Seq: 1})
+	n2.SendLink(0, 1, &Packet{Kind: packet.Data, Size: 50, Seq: 2})
+	n2.Run()
+	if len(arrivals) != 2 || arrivals[0] != 2.5 || arrivals[1] != 3.0 {
+		t.Fatalf("arrivals = %v, want [2.5 3.0]", arrivals)
+	}
+	// The reverse direction is an independent queue.
+	p3 := &echoProto{}
+	n3 := New(lineGraph(2), p3)
+	n3.Bandwidth = 100
+	var rev []des.Time
+	p3.onData = func(node topology.NodeID, pkt *Packet) { rev = append(rev, n3.Sched.Now()) }
+	n3.SendLink(0, 1, &Packet{Kind: packet.Data, Size: 50, Seq: 1})
+	n3.SendLink(1, 0, &Packet{Kind: packet.Data, Size: 50, Seq: 2})
+	n3.Run()
+	if len(rev) != 2 || rev[0] != 2.5 || rev[1] != 2.5 {
+		t.Fatalf("bidirectional arrivals = %v, want both at 2.5", rev)
+	}
+}
+
+func TestInfiniteBandwidthDefault(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(2), p)
+	n.SendLink(0, 1, &Packet{Kind: packet.Data, Size: 1 << 20})
+	n.Run()
+	if n.Sched.Now() != 2 {
+		t.Fatalf("delivery at %v, want propagation-only 2", n.Sched.Now())
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(3), p)
+	var crossings int
+	n.Trace = func(from, to topology.NodeID, pkt *Packet) { crossings++ }
+	n.SendUnicast(0, &Packet{Kind: packet.Join, Dst: 2})
+	n.Run()
+	if crossings != 2 {
+		t.Fatalf("trace crossings = %d, want 2", crossings)
+	}
+}

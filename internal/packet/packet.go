@@ -1,0 +1,243 @@
+// Package packet defines the packet taxonomy shared by every protocol in
+// the simulator, plus the wire encodings of SCMP's self-routing TREE and
+// BRANCH packets (§III-E of the paper).
+//
+// Overhead accounting follows the paper: a packet crossing a link
+// contributes that link's cost to either the data overhead or the
+// protocol overhead, depending on the packet's Class. Byte sizes are
+// additionally tracked so the TREE-vs-BRANCH trade-off (a whole-subtree
+// packet is "too expensive" for a minor change) is measurable.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"scmp/internal/topology"
+)
+
+// GroupID identifies a multicast group.
+type GroupID uint32
+
+// Kind enumerates every packet type any protocol sends.
+type Kind int
+
+const (
+	// Shared.
+	Data      Kind = iota // native multicast data
+	EncapData             // data unicast-encapsulated toward the m-router/core
+
+	// SCMP control (§III).
+	Join   // DR -> m-router: group membership gained
+	Leave  // DR -> m-router: group membership lost
+	Tree   // m-router -> subtree: self-routing whole-subtree install
+	Branch // m-router -> new member: single-path install
+	Prune  // leaf -> upstream: hop-by-hop branch teardown
+	Flush  // upstream -> stale child: cascade teardown after restructure
+
+	// SCMP hot-standby replication (§V): the primary m-router streams
+	// membership changes to the secondary so it can take over.
+	Replicate
+
+	// DVMRP control.
+	DvmrpPrune
+	DvmrpGraft
+
+	// MOSPF control.
+	GroupLSA // flooded group-membership LSA
+
+	// CBT control.
+	CbtJoin
+	CbtJoinAck
+	CbtQuit
+)
+
+var kindNames = map[Kind]string{
+	Data: "DATA", EncapData: "ENCAP-DATA",
+	Join: "JOIN", Leave: "LEAVE", Tree: "TREE", Branch: "BRANCH",
+	Prune: "PRUNE", Flush: "FLUSH", Replicate: "REPLICATE",
+	DvmrpPrune: "DVMRP-PRUNE", DvmrpGraft: "DVMRP-GRAFT",
+	GroupLSA: "GROUP-LSA",
+	CbtJoin:  "CBT-JOIN", CbtJoinAck: "CBT-JOIN-ACK", CbtQuit: "CBT-QUIT",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Class partitions packets into the paper's two overhead buckets.
+type Class int
+
+const (
+	ClassData     Class = iota // counted as data overhead
+	ClassProtocol              // counted as protocol overhead
+)
+
+// ClassOf returns the overhead bucket for a packet kind. Encapsulated
+// data is still data: the paper charges its detour to data overhead.
+func ClassOf(k Kind) Class {
+	switch k {
+	case Data, EncapData:
+		return ClassData
+	default:
+		return ClassProtocol
+	}
+}
+
+// Nominal byte sizes. Control packets are small and fixed; TREE and
+// BRANCH are sized by their encodings; data defaults to DefaultDataSize.
+const (
+	ControlSize     = 64
+	DefaultDataSize = 1000
+)
+
+// --- TREE packet encoding (§III-E) -----------------------------------
+//
+// The paper's TREE packet for a router lists the router's downstream
+// routers and, per downstream router, a recursive subpacket describing
+// the subtree hanging below it:
+//
+//	count | addr_1 len_1 sub_1 | addr_2 len_2 sub_2 | ...
+//
+// We encode count/addr/len as big-endian uint32. A leaf subtree encodes
+// to the 4 bytes 00 00 00 00, the paper's "(0)".
+
+// Subtree is the decoded form of a TREE packet: the children hanging
+// below the receiving router, each with its own subtree.
+type Subtree struct {
+	Children []Child
+}
+
+// Child pairs a downstream router with the subtree below it.
+type Child struct {
+	Addr topology.NodeID
+	Sub  Subtree
+}
+
+// EncodeSubtree renders a Subtree in the paper's recursive TREE format.
+func EncodeSubtree(s Subtree) []byte {
+	buf := make([]byte, 0, 4+12*len(s.Children))
+	return appendSubtree(buf, s)
+}
+
+func appendSubtree(buf []byte, s Subtree) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Children)))
+	for _, c := range s.Children {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c.Addr))
+		sub := appendSubtree(nil, c.Sub)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(sub)))
+		buf = append(buf, sub...)
+	}
+	return buf
+}
+
+// ErrTruncated reports a TREE/BRANCH payload shorter than its headers
+// claim.
+var ErrTruncated = errors.New("packet: truncated payload")
+
+// DecodeSubtree parses a TREE payload. It rejects trailing garbage and
+// truncated subpackets.
+func DecodeSubtree(b []byte) (Subtree, error) {
+	s, rest, err := decodeSubtree(b)
+	if err != nil {
+		return Subtree{}, err
+	}
+	if len(rest) != 0 {
+		return Subtree{}, fmt.Errorf("packet: %d trailing bytes after TREE payload", len(rest))
+	}
+	return s, nil
+}
+
+func decodeSubtree(b []byte) (Subtree, []byte, error) {
+	if len(b) < 4 {
+		return Subtree{}, nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	s := Subtree{}
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 8 {
+			return Subtree{}, nil, ErrTruncated
+		}
+		addr := topology.NodeID(binary.BigEndian.Uint32(b))
+		subLen := binary.BigEndian.Uint32(b[4:])
+		b = b[8:]
+		if uint32(len(b)) < subLen {
+			return Subtree{}, nil, ErrTruncated
+		}
+		sub, rest, err := decodeSubtree(b[:subLen])
+		if err != nil {
+			return Subtree{}, nil, err
+		}
+		if len(rest) != 0 {
+			return Subtree{}, nil, fmt.Errorf("packet: subpacket length mismatch at child %d", addr)
+		}
+		b = b[subLen:]
+		s.Children = append(s.Children, Child{Addr: addr, Sub: sub})
+	}
+	return s, b, nil
+}
+
+// TreeLike is the read-only view of a multicast tree that BuildSubtree
+// needs; *mtree.Tree satisfies it.
+type TreeLike interface {
+	Children(v topology.NodeID) []topology.NodeID
+}
+
+// BuildSubtree extracts the Subtree below node v from a tree, children
+// in ascending-address order (deterministic encodings).
+func BuildSubtree(t TreeLike, v topology.NodeID) Subtree {
+	kids := append([]topology.NodeID(nil), t.Children(v)...)
+	sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+	s := Subtree{}
+	for _, c := range kids {
+		s.Children = append(s.Children, Child{Addr: c, Sub: BuildSubtree(t, c)})
+	}
+	return s
+}
+
+// CountNodes returns the number of routers described by the subtree
+// (excluding the implicit receiving router).
+func (s Subtree) CountNodes() int {
+	n := 0
+	for _, c := range s.Children {
+		n += 1 + c.Sub.CountNodes()
+	}
+	return n
+}
+
+// --- BRANCH packet encoding (§III-E) ----------------------------------
+//
+// A BRANCH packet is the ordered list of routers from the current router
+// to the new group member: count | addr_1 | ... | addr_count.
+
+// EncodeBranch renders the router sequence of a BRANCH packet.
+func EncodeBranch(path []topology.NodeID) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(path)))
+	for _, v := range path {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// DecodeBranch parses a BRANCH payload.
+func DecodeBranch(b []byte) ([]topology.NodeID, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) != 4*n {
+		return nil, fmt.Errorf("packet: BRANCH claims %d hops, has %d bytes", n, len(b))
+	}
+	path := make([]topology.NodeID, n)
+	for i := range path {
+		path[i] = topology.NodeID(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return path, nil
+}

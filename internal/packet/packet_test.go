@@ -1,0 +1,214 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scmp/internal/topology"
+)
+
+func TestKindStrings(t *testing.T) {
+	if Data.String() != "DATA" || Tree.String() != "TREE" || CbtQuit.String() != "CBT-QUIT" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(999).String() != "Kind(999)" {
+		t.Fatalf("unknown kind = %q", Kind(999).String())
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	if ClassOf(Data) != ClassData || ClassOf(EncapData) != ClassData {
+		t.Fatal("data kinds misclassified")
+	}
+	for _, k := range []Kind{Join, Leave, Tree, Branch, Prune, Flush, Replicate, DvmrpPrune, DvmrpGraft, GroupLSA, CbtJoin, CbtJoinAck, CbtQuit} {
+		if ClassOf(k) != ClassProtocol {
+			t.Fatalf("%v misclassified as data", k)
+		}
+	}
+}
+
+func TestEncodeLeafSubtree(t *testing.T) {
+	b := EncodeSubtree(Subtree{})
+	if !bytes.Equal(b, []byte{0, 0, 0, 0}) {
+		t.Fatalf("leaf encoding = %v, want the paper's (0)", b)
+	}
+}
+
+// TestPaperExample reproduces the §III-E worked example: the subtree
+// rooted at node 2 with children 4 (leaf), 5 (children 7, 8) and
+// 6 (child 9). The paper writes the packet as
+// (3; 4,1,(0); 5,7,(2;7,1,(0);8,1,(0)); 6,4,(1;9,1,(0)))
+// with lengths in field counts; ours are in bytes but the structure is
+// identical.
+func TestPaperExample(t *testing.T) {
+	node5 := Subtree{Children: []Child{{Addr: 7}, {Addr: 8}}}
+	node6 := Subtree{Children: []Child{{Addr: 9}}}
+	root := Subtree{Children: []Child{{Addr: 4}, {Addr: 5, Sub: node5}, {Addr: 6, Sub: node6}}}
+
+	enc := EncodeSubtree(root)
+	if got := binary.BigEndian.Uint32(enc); got != 3 {
+		t.Fatalf("child count = %d, want 3", got)
+	}
+	dec, err := DecodeSubtree(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, root) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, root)
+	}
+	if dec.CountNodes() != 6 {
+		t.Fatalf("CountNodes = %d, want 6", dec.CountNodes())
+	}
+
+	// The split an i-router performs: child 5's subpacket alone must
+	// decode to node5.
+	sub5 := EncodeSubtree(node5)
+	dec5, err := DecodeSubtree(sub5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec5, node5) {
+		t.Fatal("subpacket split mismatch")
+	}
+}
+
+func TestDecodeSubtreeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"short count":      {0, 0, 0},
+		"missing child":    {0, 0, 0, 1},
+		"truncated subpkt": append(binary.BigEndian.AppendUint32(binary.BigEndian.AppendUint32(binary.BigEndian.AppendUint32(nil, 1), 7), 10), 1, 2),
+		"trailing garbage": append(EncodeSubtree(Subtree{}), 0xFF),
+	}
+	for name, b := range cases {
+		if _, err := DecodeSubtree(b); err == nil {
+			t.Errorf("%s: decode accepted %v", name, b)
+		}
+	}
+}
+
+// randomSubtree builds a random subtree with up to depth levels.
+func randomSubtree(rng *rand.Rand, depth int, next *int) Subtree {
+	s := Subtree{}
+	if depth == 0 {
+		return s
+	}
+	n := rng.Intn(3)
+	for i := 0; i < n; i++ {
+		*next++
+		s.Children = append(s.Children, Child{
+			Addr: topology.NodeID(*next),
+			Sub:  randomSubtree(rng, depth-1, next),
+		})
+	}
+	return s
+}
+
+// Property: encode/decode round-trips arbitrary subtrees.
+func TestPropertySubtreeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		next := 0
+		s := randomSubtree(rng, 5, &next)
+		dec, err := DecodeSubtree(EncodeSubtree(s))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(dec, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding never panics on arbitrary bytes.
+func TestPropertyDecodeRobust(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = DecodeSubtree(b)
+		_, _ = DecodeBranch(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchRoundTrip(t *testing.T) {
+	path := []topology.NodeID{2, 4, 10}
+	dec, err := DecodeBranch(EncodeBranch(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, path) {
+		t.Fatalf("round trip = %v, want %v", dec, path)
+	}
+}
+
+func TestBranchEmpty(t *testing.T) {
+	dec, err := DecodeBranch(EncodeBranch(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded = %v", dec)
+	}
+}
+
+func TestBranchErrors(t *testing.T) {
+	if _, err := DecodeBranch([]byte{0, 0}); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := DecodeBranch([]byte{0, 0, 0, 2, 0, 0, 0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+type fakeTree map[topology.NodeID][]topology.NodeID
+
+func (f fakeTree) Children(v topology.NodeID) []topology.NodeID { return f[v] }
+
+func TestBuildSubtree(t *testing.T) {
+	ft := fakeTree{
+		2: {5, 4, 6}, // deliberately unsorted
+		5: {8, 7},
+		6: {9},
+	}
+	s := BuildSubtree(ft, 2)
+	if len(s.Children) != 3 || s.Children[0].Addr != 4 || s.Children[1].Addr != 5 || s.Children[2].Addr != 6 {
+		t.Fatalf("children order = %+v", s.Children)
+	}
+	if len(s.Children[1].Sub.Children) != 2 || s.Children[1].Sub.Children[0].Addr != 7 {
+		t.Fatalf("grandchildren = %+v", s.Children[1].Sub.Children)
+	}
+	if s.CountNodes() != 6 {
+		t.Fatalf("CountNodes = %d, want 6", s.CountNodes())
+	}
+}
+
+func BenchmarkEncodeSubtree(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	next := 0
+	s := randomSubtree(rng, 8, &next)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeSubtree(s)
+	}
+}
+
+func BenchmarkDecodeSubtree(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	next := 0
+	enc := EncodeSubtree(randomSubtree(rng, 8, &next))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSubtree(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

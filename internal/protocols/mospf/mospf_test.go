@@ -1,0 +1,158 @@
+package mospf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+const grp packet.GroupID = 1
+
+func lineGraph(n int) *topology.Graph {
+	g := topology.New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(topology.NodeID(i), topology.NodeID(i+1), 1, 1)
+	}
+	return g
+}
+
+func TestLSAFloodsWholeDomain(t *testing.T) {
+	g := lineGraph(5) // 4 links
+	n := netsim.New(g, New())
+	n.HostJoin(2, grp)
+	n.Run()
+	// Flooding crosses every link at least once, in both directions for
+	// interior links; for this line: origin 2 sends to 1 and 3, each
+	// forwards outward and back-floods duplicates are suppressed at
+	// nodes, not links.
+	got := n.Metrics.Crossings(packet.GroupLSA)
+	if got < 4 {
+		t.Fatalf("LSA crossings = %d, want at least one per link", got)
+	}
+}
+
+func TestLSAConvergesAllViews(t *testing.T) {
+	g := lineGraph(4)
+	m := New()
+	n := netsim.New(g, m)
+	n.HostJoin(3, grp)
+	n.Run()
+	for v := 0; v < g.N(); v++ {
+		if !m.nodeView(topology.NodeID(v))[grp][3] {
+			t.Fatalf("router %d did not learn membership of 3", v)
+		}
+	}
+	n.HostLeave(3, grp)
+	n.Run()
+	for v := 0; v < g.N(); v++ {
+		if m.nodeView(topology.NodeID(v))[grp][3] {
+			t.Fatalf("router %d did not learn leave of 3", v)
+		}
+	}
+}
+
+func TestEveryMembershipChangeFloods(t *testing.T) {
+	g := lineGraph(4)
+	n := netsim.New(g, New())
+	n.HostJoin(1, grp)
+	n.Run()
+	first := n.Metrics.Crossings(packet.GroupLSA)
+	n.HostJoin(3, grp)
+	n.Run()
+	second := n.Metrics.Crossings(packet.GroupLSA) - first
+	if second < first/2 {
+		t.Fatalf("second join flooded only %d crossings vs %d: flood suppressed?", second, first)
+	}
+}
+
+func TestDataFollowsSourceTree(t *testing.T) {
+	g := lineGraph(5)
+	n := netsim.New(g, New())
+	n.HostJoin(4, grp)
+	n.Run()
+	seq := n.SendData(0, grp, 100)
+	n.Run()
+	missing, anomalous := n.CheckDelivery(seq)
+	if len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("missing=%v anomalous=%v", missing, anomalous)
+	}
+	// Data is scoped to the member path: exactly 4 crossings.
+	if got := n.Metrics.Crossings(packet.Data); got != 4 {
+		t.Fatalf("data crossings = %d, want 4", got)
+	}
+}
+
+func TestDataPrunedToMemberSubtrees(t *testing.T) {
+	// Star: 0 center with arms 1, 2, 3; member only on arm 2.
+	g := topology.New(4)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(0, 2, 1, 1)
+	g.MustAddEdge(0, 3, 1, 1)
+	n := netsim.New(g, New())
+	n.HostJoin(2, grp)
+	n.Run()
+	n.SendData(0, grp, 100)
+	n.Run()
+	if got := n.Metrics.Crossings(packet.Data); got != 1 {
+		t.Fatalf("data crossings = %d, want 1 (member arm only)", got)
+	}
+}
+
+func TestNoMembersNoData(t *testing.T) {
+	g := lineGraph(3)
+	n := netsim.New(g, New())
+	n.SendData(0, grp, 100)
+	n.Run()
+	if got := n.Metrics.Crossings(packet.Data); got != 0 {
+		t.Fatalf("data crossings = %d, want 0", got)
+	}
+}
+
+func TestMemberSourceDeliversToOthers(t *testing.T) {
+	g := lineGraph(3)
+	n := netsim.New(g, New())
+	n.HostJoin(0, grp)
+	n.HostJoin(2, grp)
+	n.Run()
+	seq := n.SendData(0, grp, 100)
+	n.Run()
+	missing, anomalous := n.CheckDelivery(seq)
+	if len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("missing=%v anomalous=%v", missing, anomalous)
+	}
+}
+
+// Property: after quiescent LSA convergence, data from any source
+// reaches every member exactly once.
+func TestPropertyMOSPFDelivery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topology.Random(topology.DefaultRandom(15, 3), rng)
+		if err != nil {
+			return false
+		}
+		n := netsim.New(g, New())
+		for _, v := range rng.Perm(g.N())[:5] {
+			n.HostJoin(topology.NodeID(v), grp)
+		}
+		n.Run()
+		for i := 0; i < 3; i++ {
+			src := topology.NodeID(rng.Intn(g.N()))
+			seq := n.SendData(src, grp, 100)
+			n.Run()
+			missing, anomalous := n.CheckDelivery(seq)
+			if len(missing) != 0 || len(anomalous) != 0 {
+				t.Logf("seed %d src %d: missing=%v anomalous=%v", seed, src, missing, anomalous)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package scenario_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"scmp/internal/scenario"
+)
+
+// Example runs a complete scripted simulation: an SCMP domain on the
+// fixed ARPANET map, one member, one sender, delivery checked.
+func Example() {
+	script, err := scenario.Parse(strings.NewReader(`
+# minimal SCMP session on the ARPANET
+topology arpanet
+scale-delays 0.001
+protocol scmp mrouter=0 kappa=1.5
+at 0.0 join 5
+at 1.0 send 3 size=1000
+run 5
+expect delivered
+print tree group=1
+`))
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	if err := script.Run(os.Stdout); err != nil {
+		fmt.Println("run:", err)
+	}
+	// Output:
+	// group 1: root=0 cost=57.8 delay=0.0236 members=[5]
+	//   2 -> 0
+	//   5 -> 2
+}

@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScenarioLibrary runs every shipped scenario script end to end;
+// each must parse, run, and satisfy its own "expect delivered" checks.
+func TestScenarioLibrary(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenario library missing: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".scn" {
+			continue
+		}
+		ran++
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			script, err := Parse(f)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := script.Run(&buf); err != nil {
+				t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+			}
+		})
+	}
+	if ran < 5 {
+		t.Fatalf("only %d scenarios found; library incomplete", ran)
+	}
+}

@@ -1,0 +1,445 @@
+// Package scenario provides a small text DSL for driving simulations —
+// the tool a downstream user reaches for to reproduce a situation
+// without writing Go. A script picks a topology and a protocol, then
+// schedules joins, leaves, data and (for SCMP) a failover, runs the
+// clock, and checks delivery:
+//
+//	# lecture with churn
+//	topology random n=40 degree=3 seed=11
+//	scale-delays 0.001
+//	protocol scmp mrouter=0 kappa=1.5
+//	at 0.0 join 5
+//	at 0.2 join 9 group=1
+//	at 1.0 send 3 size=1000
+//	at 2.0 leave 5
+//	run 10
+//	expect delivered
+//	print metrics
+//	print tree group=1
+//
+// Lines are independent commands; '#' starts a comment. Every event
+// command takes an optional group=N (default 1). `scale-delays F`
+// multiplies every link delay (e.g. 0.001 reads the generators' units
+// as milliseconds) and `bandwidth B` gives links a finite capacity of
+// B bytes/s (queueing + transmission + propagation, the paper's
+// three-component link delay); both must precede `protocol`.
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scmp/internal/core"
+	"scmp/internal/des"
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/protocols/cbt"
+	"scmp/internal/protocols/dvmrp"
+	"scmp/internal/protocols/mospf"
+	"scmp/internal/topology"
+)
+
+// command is one parsed script line.
+type command struct {
+	line int
+	verb string // topology, scale-delays, protocol, at, run, expect, print
+	args []string
+	kv   map[string]string
+	at   float64 // for "at" commands
+	sub  string  // the event verb after "at": join, leave, send, failover
+}
+
+// Script is a parsed scenario.
+type Script struct {
+	cmds []command
+}
+
+// Parse reads a scenario script.
+func Parse(r io.Reader) (*Script, error) {
+	sc := bufio.NewScanner(r)
+	var cmds []command
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd := command{line: lineNo, verb: fields[0], kv: map[string]string{}}
+		rest := fields[1:]
+		if cmd.verb == "at" {
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("line %d: at needs a time and an event", lineNo)
+			}
+			t, err := strconv.ParseFloat(rest[0], 64)
+			if err != nil || t < 0 {
+				return nil, fmt.Errorf("line %d: bad time %q", lineNo, rest[0])
+			}
+			cmd.at = t
+			cmd.sub = rest[1]
+			rest = rest[2:]
+		}
+		for _, f := range rest {
+			if k, v, ok := strings.Cut(f, "="); ok {
+				cmd.kv[k] = v
+			} else {
+				cmd.args = append(cmd.args, f)
+			}
+		}
+		switch cmd.verb {
+		case "topology", "scale-delays", "bandwidth", "protocol", "at", "run", "expect", "print":
+		default:
+			return nil, fmt.Errorf("line %d: unknown command %q", lineNo, cmd.verb)
+		}
+		cmds = append(cmds, cmd)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &Script{cmds: cmds}, nil
+}
+
+func (c command) float(key string, def float64) (float64, error) {
+	v, ok := c.kv[key]
+	if !ok {
+		return def, nil
+	}
+	if v == "inf" {
+		return math.Inf(1), nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad %s=%q", c.line, key, v)
+	}
+	return f, nil
+}
+
+func (c command) int(key string, def int) (int, error) {
+	v, ok := c.kv[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad %s=%q", c.line, key, v)
+	}
+	return n, nil
+}
+
+func (c command) group() (packet.GroupID, error) {
+	n, err := c.int("group", 1)
+	return packet.GroupID(n), err
+}
+
+// state is the execution context.
+type state struct {
+	g         *topology.Graph
+	scale     float64
+	bandwidth float64
+	net       *netsim.Network
+	scmp      *core.SCMP // non-nil when the protocol is SCMP
+	sent      []uint64
+	w         io.Writer
+}
+
+// Run executes the script, writing "print" output to w.
+func (s *Script) Run(w io.Writer) error {
+	st := &state{scale: 1, w: w}
+	for _, c := range s.cmds {
+		if err := st.exec(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *state) exec(c command) error {
+	switch c.verb {
+	case "topology":
+		return st.execTopology(c)
+	case "scale-delays":
+		if st.net != nil {
+			return fmt.Errorf("line %d: scale-delays must precede protocol", c.line)
+		}
+		if len(c.args) != 1 {
+			return fmt.Errorf("line %d: scale-delays needs a factor", c.line)
+		}
+		f, err := strconv.ParseFloat(c.args[0], 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("line %d: bad factor %q", c.line, c.args[0])
+		}
+		st.scale = f
+		return nil
+	case "bandwidth":
+		if st.net != nil {
+			return fmt.Errorf("line %d: bandwidth must precede protocol", c.line)
+		}
+		if len(c.args) != 1 {
+			return fmt.Errorf("line %d: bandwidth needs bytes/s", c.line)
+		}
+		f, err := strconv.ParseFloat(c.args[0], 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("line %d: bad bandwidth %q", c.line, c.args[0])
+		}
+		st.bandwidth = f
+		return nil
+	case "protocol":
+		return st.execProtocol(c)
+	case "at":
+		return st.execAt(c)
+	case "run":
+		if st.net == nil {
+			return fmt.Errorf("line %d: run before protocol", c.line)
+		}
+		if len(c.args) == 1 {
+			t, err := strconv.ParseFloat(c.args[0], 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad run deadline %q", c.line, c.args[0])
+			}
+			st.net.RunUntil(des.Time(t))
+		}
+		st.net.Run()
+		return nil
+	case "expect":
+		return st.execExpect(c)
+	case "print":
+		return st.execPrint(c)
+	}
+	return fmt.Errorf("line %d: unhandled %q", c.line, c.verb)
+}
+
+func (st *state) execTopology(c command) error {
+	if st.g != nil {
+		return fmt.Errorf("line %d: topology already set", c.line)
+	}
+	if len(c.args) != 1 {
+		return fmt.Errorf("line %d: topology needs a kind", c.line)
+	}
+	seed, err := c.int("seed", 1)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	switch c.args[0] {
+	case "arpanet":
+		st.g = topology.Arpanet()
+	case "waxman":
+		n, err := c.int("n", 50)
+		if err != nil {
+			return err
+		}
+		wg, err := topology.Waxman(topology.DefaultWaxman(n), rng)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", c.line, err)
+		}
+		st.g = wg.Graph
+	case "random":
+		n, err := c.int("n", 50)
+		if err != nil {
+			return err
+		}
+		deg, err := c.float("degree", 3)
+		if err != nil {
+			return err
+		}
+		g, err := topology.Random(topology.DefaultRandom(n, deg), rng)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", c.line, err)
+		}
+		st.g = g
+	case "transitstub":
+		g, _, err := topology.TransitStub(topology.DefaultTransitStub(), rng)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", c.line, err)
+		}
+		st.g = g
+	default:
+		return fmt.Errorf("line %d: unknown topology %q", c.line, c.args[0])
+	}
+	return nil
+}
+
+func (st *state) execProtocol(c command) error {
+	if st.g == nil {
+		return fmt.Errorf("line %d: protocol before topology", c.line)
+	}
+	if st.net != nil {
+		return fmt.Errorf("line %d: protocol already set", c.line)
+	}
+	if len(c.args) != 1 {
+		return fmt.Errorf("line %d: protocol needs a name", c.line)
+	}
+	g := st.g
+	if st.scale != 1 {
+		g = g.ScaleDelays(st.scale)
+	}
+	var proto netsim.Protocol
+	switch c.args[0] {
+	case "scmp":
+		mrouter, err := c.int("mrouter", 0)
+		if err != nil {
+			return err
+		}
+		kappa, err := c.float("kappa", 1.5)
+		if err != nil {
+			return err
+		}
+		standby, err := c.int("standby", -1)
+		if err != nil {
+			return err
+		}
+		budget, err := c.float("budget", 0)
+		if err != nil {
+			return err
+		}
+		s := core.New(core.Config{
+			MRouter:     topology.NodeID(mrouter),
+			Kappa:       kappa,
+			Standby:     topology.NodeID(standby),
+			DelayBudget: budget,
+		})
+		st.scmp = s
+		proto = s
+	case "dvmrp":
+		lifetime, err := c.float("prune", float64(dvmrp.DefaultPruneLifetime))
+		if err != nil {
+			return err
+		}
+		proto = dvmrp.New(des.Time(lifetime))
+	case "mospf":
+		proto = mospf.New()
+	case "cbt":
+		coreNode, err := c.int("core", 0)
+		if err != nil {
+			return err
+		}
+		proto = cbt.New(topology.NodeID(coreNode))
+	default:
+		return fmt.Errorf("line %d: unknown protocol %q", c.line, c.args[0])
+	}
+	st.net = netsim.New(g, proto)
+	st.net.Bandwidth = st.bandwidth
+	return nil
+}
+
+func (st *state) execAt(c command) error {
+	if st.net == nil {
+		return fmt.Errorf("line %d: events before protocol", c.line)
+	}
+	grp, err := c.group()
+	if err != nil {
+		return err
+	}
+	node := func() (topology.NodeID, error) {
+		if len(c.args) != 1 {
+			return 0, fmt.Errorf("line %d: %s needs a node", c.line, c.sub)
+		}
+		n, err := strconv.Atoi(c.args[0])
+		if err != nil || n < 0 || n >= st.net.G.N() {
+			return 0, fmt.Errorf("line %d: bad node %q", c.line, c.args[0])
+		}
+		return topology.NodeID(n), nil
+	}
+	switch c.sub {
+	case "join":
+		v, err := node()
+		if err != nil {
+			return err
+		}
+		st.net.Sched.At(des.Time(c.at), func() { st.net.HostJoin(v, grp) })
+	case "leave":
+		v, err := node()
+		if err != nil {
+			return err
+		}
+		st.net.Sched.At(des.Time(c.at), func() { st.net.HostLeave(v, grp) })
+	case "send":
+		v, err := node()
+		if err != nil {
+			return err
+		}
+		size, err := c.int("size", packet.DefaultDataSize)
+		if err != nil {
+			return err
+		}
+		st.net.Sched.At(des.Time(c.at), func() {
+			st.sent = append(st.sent, st.net.SendData(v, grp, size))
+		})
+	case "failover":
+		if st.scmp == nil {
+			return fmt.Errorf("line %d: failover requires the scmp protocol", c.line)
+		}
+		st.net.Sched.At(des.Time(c.at), func() { st.scmp.Failover() })
+	default:
+		return fmt.Errorf("line %d: unknown event %q", c.line, c.sub)
+	}
+	return nil
+}
+
+func (st *state) execExpect(c command) error {
+	if st.net == nil {
+		return fmt.Errorf("line %d: expect before protocol", c.line)
+	}
+	if len(c.args) != 1 || c.args[0] != "delivered" {
+		return fmt.Errorf("line %d: only 'expect delivered' is supported", c.line)
+	}
+	for _, seq := range st.sent {
+		missing, anomalous := st.net.CheckDelivery(seq)
+		if len(missing) > 0 || len(anomalous) > 0 {
+			return fmt.Errorf("line %d: packet %d: missing=%v anomalous=%v",
+				c.line, seq, missing, anomalous)
+		}
+	}
+	return nil
+}
+
+func (st *state) execPrint(c command) error {
+	if st.net == nil {
+		return fmt.Errorf("line %d: print before protocol", c.line)
+	}
+	if len(c.args) != 1 {
+		return fmt.Errorf("line %d: print needs a subject", c.line)
+	}
+	switch c.args[0] {
+	case "metrics":
+		m := st.net.Metrics
+		fmt.Fprintf(st.w, "t=%.3f data_overhead=%.1f proto_overhead=%.1f delivered=%d dropped=%d max_e2e=%.4f\n",
+			float64(st.net.Now()), m.DataOverhead(), m.ProtocolOverhead(),
+			m.Delivered(), m.Dropped(), m.MaxEndToEndDelay())
+	case "tree":
+		if st.scmp == nil {
+			return fmt.Errorf("line %d: print tree requires the scmp protocol", c.line)
+		}
+		grp, err := c.group()
+		if err != nil {
+			return err
+		}
+		tr := st.scmp.GroupTree(grp)
+		if tr == nil {
+			fmt.Fprintf(st.w, "group %d: no tree\n", grp)
+			return nil
+		}
+		fmt.Fprintf(st.w, "group %d: root=%d cost=%.1f delay=%.4f members=%v\n",
+			grp, tr.Root(), tr.Cost(), tr.TreeDelay(), tr.Members())
+		nodes := tr.Nodes()
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, v := range nodes {
+			if p, ok := tr.Parent(v); ok {
+				fmt.Fprintf(st.w, "  %d -> %d\n", v, p)
+			}
+		}
+	default:
+		return fmt.Errorf("line %d: unknown print subject %q", c.line, c.args[0])
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package session_test
+
+import (
+	"fmt"
+
+	"scmp/internal/des"
+	"scmp/internal/session"
+)
+
+// Example walks the m-router's service database through a group's life:
+// address allocation, members coming and going (billable on-time), a
+// session with traffic records, and revocation.
+func Example() {
+	sched := des.New()
+	mgr := session.NewManager(sched, 0xE0000000, 256)
+
+	g, _ := mgr.Allocate("friday-standup")
+	fmt.Printf("allocated group %#x\n", uint32(g))
+
+	sched.At(10, func() { _ = mgr.MemberJoined(g, 5) })
+	sched.At(40, func() { _ = mgr.MemberLeft(g, 5) })
+	sched.Run()
+	fmt.Println("member 5 on-time:", mgr.MemberOnTime(g, 5), "s")
+
+	id, _ := mgr.StartSession(g, 0, nil)
+	_ = mgr.RecordTraffic(g, id, 1500)
+	_ = mgr.RecordTraffic(g, id, 1500)
+	info, _ := mgr.Session(g, id)
+	fmt.Println("session packets:", info.Packets, "bytes:", info.Bytes)
+
+	_ = mgr.EndSession(g, id)
+	fmt.Println("revoke:", mgr.Revoke(g) == nil)
+	// Output:
+	// allocated group 0xe0000000
+	// member 5 on-time: 30 s
+	// session packets: 2 bytes: 3000
+	// revoke: true
+}

@@ -1,0 +1,263 @@
+package session
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scmp/internal/des"
+)
+
+func newMgr() (*Manager, *des.Scheduler) {
+	sched := des.New()
+	return NewManager(sched, 1000, 4), sched
+}
+
+func TestAllocateRevokeCycle(t *testing.T) {
+	m, _ := newMgr()
+	g1, err := m.Allocate("conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.Allocate("lecture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Fatal("duplicate address issued")
+	}
+	if got := m.Groups(); len(got) != 2 {
+		t.Fatalf("Groups = %v", got)
+	}
+	if err := m.Revoke(g1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Groups(); len(got) != 1 || got[0] != g2 {
+		t.Fatalf("Groups after revoke = %v", got)
+	}
+	// Freed address is reusable.
+	for i := 0; i < 3; i++ {
+		if _, err := m.Allocate("more"); err != nil {
+			t.Fatalf("allocate %d after revoke: %v", i, err)
+		}
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	m, _ := newMgr() // pool of 4
+	for i := 0; i < 4; i++ {
+		if _, err := m.Allocate("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Allocate("overflow"); err != ErrExhausted {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestRevokeGuards(t *testing.T) {
+	m, _ := newMgr()
+	if err := m.Revoke(999); err != ErrUnknownGroup {
+		t.Fatalf("err = %v, want ErrUnknownGroup", err)
+	}
+	g, _ := m.Allocate("g")
+	if err := m.MemberJoined(g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Revoke(g); err != ErrGroupActive {
+		t.Fatalf("err = %v, want ErrGroupActive", err)
+	}
+	if err := m.MemberLeft(g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Revoke(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemberOnTimeAccounting(t *testing.T) {
+	m, sched := newMgr()
+	g, _ := m.Allocate("g")
+	sched.At(10, func() { _ = m.MemberJoined(g, 7) })
+	sched.At(25, func() { _ = m.MemberLeft(g, 7) })
+	sched.At(40, func() { _ = m.MemberJoined(g, 7) })
+	sched.Run()
+	// Closed span 15s + open span since t=40; clock now at 40.
+	if got := m.MemberOnTime(g, 7); got != 15 {
+		t.Fatalf("on-time = %v, want 15", got)
+	}
+	sched.At(50, func() {
+		if got := m.MemberOnTime(g, 7); got != 25 {
+			t.Errorf("on-time at t=50 = %v, want 25", got)
+		}
+	})
+	sched.Run()
+}
+
+func TestMemberJoinIdempotent(t *testing.T) {
+	m, _ := newMgr()
+	g, _ := m.Allocate("g")
+	_ = m.MemberJoined(g, 1)
+	_ = m.MemberJoined(g, 1)
+	_ = m.MemberLeft(g, 1)
+	_ = m.MemberLeft(g, 1)
+	joins := 0
+	for _, e := range m.Log() {
+		if e.Kind == EventJoin {
+			joins++
+		}
+	}
+	if joins != 1 {
+		t.Fatalf("join events = %d, want 1", joins)
+	}
+	if m.MemberJoined(999, 1) != ErrUnknownGroup {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	m, _ := newMgr()
+	g, _ := m.Allocate("videoconf")
+	_ = m.MemberJoined(g, 9)
+	_ = m.MemberJoined(g, 3)
+	info, err := m.Query(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "videoconf" || len(info.Members) != 2 || info.Members[0] != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := m.Query(999); err != ErrUnknownGroup {
+		t.Fatal("unknown group query accepted")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m, sched := newMgr()
+	g, _ := m.Allocate("g")
+	id, err := m.StartSession(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RecordTraffic(g, id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RecordTraffic(g, id, 500); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Session(g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Packets != 2 || info.Bytes != 1500 || !info.Active {
+		t.Fatalf("info = %+v", info)
+	}
+	if err := m.EndSession(g, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EndSession(g, id); err != ErrSessionClosed {
+		t.Fatalf("double end: %v", err)
+	}
+	if err := m.RecordTraffic(g, id, 1); err != ErrSessionClosed {
+		t.Fatalf("traffic on closed session: %v", err)
+	}
+	_ = sched
+}
+
+func TestSessionExpiry(t *testing.T) {
+	m, sched := newMgr()
+	g, _ := m.Allocate("g")
+	id, err := m.StartSession(g, 30, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(29)
+	if info, _ := m.Session(g, id); !info.Active {
+		t.Fatal("session expired early")
+	}
+	sched.RunUntil(31)
+	info, _ := m.Session(g, id)
+	if info.Active {
+		t.Fatal("session did not expire")
+	}
+	if info.ExpiresAt != 30 {
+		t.Fatalf("ExpiresAt = %v", info.ExpiresAt)
+	}
+}
+
+func TestSessionLifetimeNeedsScheduler(t *testing.T) {
+	m, _ := newMgr()
+	g, _ := m.Allocate("g")
+	if _, err := m.StartSession(g, 5, nil); err == nil {
+		t.Fatal("lifetime without scheduler accepted")
+	}
+}
+
+func TestLogChronology(t *testing.T) {
+	m, sched := newMgr()
+	g, _ := m.Allocate("g")
+	sched.At(1, func() { _ = m.MemberJoined(g, 2) })
+	sched.At(2, func() { _ = m.MemberLeft(g, 2) })
+	sched.Run()
+	log := m.Log()
+	if len(log) != 3 {
+		t.Fatalf("log = %v", log)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].At < log[i-1].At {
+			t.Fatal("log out of order")
+		}
+	}
+	if log[0].Kind != EventAllocate || log[1].Kind != EventJoin || log[2].Kind != EventLeave {
+		t.Fatalf("log kinds = %v %v %v", log[0].Kind, log[1].Kind, log[2].Kind)
+	}
+	// Log() must return a copy.
+	log[0].Kind = EventRevoke
+	if m.Log()[0].Kind != EventAllocate {
+		t.Fatal("log not copied")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventJoin.String() != "JOIN" || EventKind(99).String() != "EventKind(99)" {
+		t.Fatal("EventKind names wrong")
+	}
+}
+
+// Property: on-time is always nonnegative and never exceeds elapsed
+// simulated time, under arbitrary join/leave sequences.
+func TestPropertyOnTimeBounded(t *testing.T) {
+	f := func(ops []bool) bool {
+		m, sched := newMgr()
+		g, _ := m.Allocate("g")
+		for i, join := range ops {
+			at := des.Time(i + 1)
+			join := join
+			sched.At(at, func() {
+				if join {
+					_ = m.MemberJoined(g, 1)
+				} else {
+					_ = m.MemberLeft(g, 1)
+				}
+			})
+		}
+		sched.Run()
+		got := m.MemberOnTime(g, 1)
+		return got >= 0 && got <= sched.Now()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevokeClosesSessions(t *testing.T) {
+	m, sched := newMgr()
+	g, _ := m.Allocate("g")
+	id, _ := m.StartSession(g, 0, nil)
+	if err := m.Revoke(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Session(g, id); err != ErrUnknownGroup {
+		t.Fatalf("session query after revoke: %v", err)
+	}
+	_ = sched
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small statistical summaries the experiment
+// harness needs to aggregate multi-seed runs (the paper averages each
+// point over 10 random-generator seeds).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// for fewer than two observations.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(len(s.xs)))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval
+// for the mean (normal approximation, 1.96 sigma).
+func (s *Sample) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Median returns the median, or NaN when empty.
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	xs := append([]float64(nil), s.xs...)
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// String summarises the sample as "mean ± ci95 (n=N)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean(), s.CI95(), s.N())
+}

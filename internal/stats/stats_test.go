@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func add(s *Sample, xs ...float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 {
+		t.Fatal("N != 0")
+	}
+	for name, v := range map[string]float64{"mean": s.Mean(), "min": s.Min(), "max": s.Max(), "median": s.Median()} {
+		if !math.IsNaN(v) {
+			t.Fatalf("%s of empty sample = %g, want NaN", name, v)
+		}
+	}
+	if s.StdDev() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Fatal("spread of empty sample should be 0")
+	}
+}
+
+func TestBasics(t *testing.T) {
+	var s Sample
+	add(&s, 2, 4, 4, 4, 5, 5, 7, 9)
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %g, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	wantSD := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-wantSD) > 1e-12 {
+		t.Fatalf("stddev = %g, want %g", s.StdDev(), wantSD)
+	}
+	if math.Abs(s.Median()-4.5) > 1e-12 {
+		t.Fatalf("median = %g, want 4.5", s.Median())
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	var s Sample
+	add(&s, 9, 1, 5)
+	if s.Median() != 5 {
+		t.Fatalf("median = %g, want 5", s.Median())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Mean() != 3 || s.Median() != 3 || s.StdDev() != 0 {
+		t.Fatal("single-observation stats wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	add(&s, 1, 2, 3)
+	if got := s.String(); got != "2.00 ± 1.13 (n=3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestPropertyOrderStatistics(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, x := range raw {
+			// Reject non-finite inputs and magnitudes whose sum would
+			// overflow float64; experiment metrics are modest reals.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Median does not mutate insertion order state (Add after
+// Median still works, and repeated Median calls agree).
+func TestMedianPure(t *testing.T) {
+	var s Sample
+	add(&s, 3, 1, 2)
+	m1 := s.Median()
+	m2 := s.Median()
+	if m1 != m2 {
+		t.Fatal("median unstable")
+	}
+	s.Add(10)
+	if s.Max() != 10 {
+		t.Fatal("sample corrupted by Median")
+	}
+}

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Weight selects which link attribute a shortest-path computation
+// minimises.
+type Weight func(Link) float64
+
+// ByDelay weights links by delay; shortest-delay paths are the paper's
+// P_sl ("shortest delay path").
+func ByDelay(l Link) float64 { return l.Delay }
+
+// ByCost weights links by cost; least-cost paths are the paper's P_lc.
+func ByCost(l Link) float64 { return l.Cost }
+
+// Paths holds the single-source shortest-path tree from Src under some
+// weight, plus the path delay and cost accumulated along those paths
+// (both are tracked regardless of which attribute was minimised, because
+// DCDM needs the delay of a least-cost path and vice versa).
+type Paths struct {
+	Src    NodeID
+	Dist   []float64 // minimised weight to each node; +Inf if unreachable
+	Delay  []float64 // delay along the chosen path
+	Cost   []float64 // cost along the chosen path
+	Parent []NodeID  // predecessor on the chosen path; -1 for Src/unreachable
+}
+
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Shortest runs Dijkstra from src under the given weight.
+func Shortest(g *Graph, src NodeID, w Weight) *Paths {
+	n := g.N()
+	p := &Paths{
+		Src:    src,
+		Dist:   make([]float64, n),
+		Delay:  make([]float64, n),
+		Cost:   make([]float64, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range p.Dist {
+		p.Dist[i] = math.Inf(1)
+		p.Delay[i] = math.Inf(1)
+		p.Cost[i] = math.Inf(1)
+		p.Parent[i] = -1
+	}
+	if n == 0 || !g.valid(src) {
+		return p
+	}
+	p.Dist[src], p.Delay[src], p.Cost[src] = 0, 0, 0
+	done := make([]bool, n)
+	q := pq{{src, 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, l := range g.adj[u] {
+			d := p.Dist[u] + w(l)
+			if d < p.Dist[l.To] {
+				p.Dist[l.To] = d
+				p.Delay[l.To] = p.Delay[u] + l.Delay
+				p.Cost[l.To] = p.Cost[u] + l.Cost
+				p.Parent[l.To] = u
+				heap.Push(&q, pqItem{l.To, d})
+			}
+		}
+	}
+	return p
+}
+
+// To reconstructs the path Src -> dst as a node sequence including both
+// endpoints. It returns nil if dst is unreachable.
+func (p *Paths) To(dst NodeID) []NodeID {
+	if int(dst) >= len(p.Dist) || math.IsInf(p.Dist[dst], 1) {
+		return nil
+	}
+	var rev []NodeID
+	for v := dst; v != -1; v = p.Parent[v] {
+		rev = append(rev, v)
+		if v == p.Src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != p.Src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Reachable reports whether dst is reachable from Src.
+func (p *Paths) Reachable(dst NodeID) bool {
+	return int(dst) < len(p.Dist) && !math.IsInf(p.Dist[dst], 1)
+}
+
+// AllPairs precomputes Shortest from every node under the given weight.
+// Index by source node.
+type AllPairs []*Paths
+
+// NewAllPairs runs Dijkstra from every source.
+func NewAllPairs(g *Graph, w Weight) AllPairs {
+	ap := make(AllPairs, g.N())
+	for u := 0; u < g.N(); u++ {
+		ap[u] = Shortest(g, NodeID(u), w)
+	}
+	return ap
+}
+
+// NextHop computes the unicast forwarding table implied by shortest-delay
+// routing: next[u][v] is the first hop on u's shortest-delay path to v,
+// or -1 when v is u or unreachable. This is the "link state unicast
+// routing protocol" substrate the paper assumes every domain runs.
+func NextHop(g *Graph) [][]NodeID {
+	n := g.N()
+	next := make([][]NodeID, n)
+	for u := 0; u < n; u++ {
+		sp := Shortest(g, NodeID(u), ByDelay)
+		row := make([]NodeID, n)
+		for v := 0; v < n; v++ {
+			row[v] = -1
+			if v == u || !sp.Reachable(NodeID(v)) {
+				continue
+			}
+			// Walk back from v to the node whose parent is u.
+			w := NodeID(v)
+			for sp.Parent[w] != NodeID(u) {
+				w = sp.Parent[w]
+			}
+			row[v] = w
+		}
+		next[u] = row
+	}
+	return next
+}
+
+// PathDelay sums link delays along a node sequence; it panics if the
+// sequence is not a path in g.
+func PathDelay(g *Graph, path []NodeID) float64 {
+	sum := 0.0
+	for i := 1; i < len(path); i++ {
+		l, ok := g.Edge(path[i-1], path[i])
+		if !ok {
+			panic("topology: PathDelay on a non-path")
+		}
+		sum += l.Delay
+	}
+	return sum
+}
+
+// PathCost sums link costs along a node sequence; it panics if the
+// sequence is not a path in g.
+func PathCost(g *Graph, path []NodeID) float64 {
+	sum := 0.0
+	for i := 1; i < len(path); i++ {
+		l, ok := g.Edge(path[i-1], path[i])
+		if !ok {
+			panic("topology: PathCost on a non-path")
+		}
+		sum += l.Cost
+	}
+	return sum
+}

@@ -1,0 +1,212 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds a 4-node graph where the delay-optimal and cost-optimal
+// paths from 0 to 3 differ:
+//
+//	0 --(d1,c10)-- 1 --(d1,c10)-- 3     (delay 2, cost 20)
+//	0 --(d5,c1)--- 2 --(d5,c1)--- 3     (delay 10, cost 2)
+func diamond() *Graph {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(1, 3, 1, 10)
+	g.MustAddEdge(0, 2, 5, 1)
+	g.MustAddEdge(2, 3, 5, 1)
+	return g
+}
+
+func TestShortestByDelayVsCost(t *testing.T) {
+	g := diamond()
+	byDelay := Shortest(g, 0, ByDelay)
+	byCost := Shortest(g, 0, ByCost)
+
+	if got := byDelay.To(3); len(got) != 3 || got[1] != 1 {
+		t.Fatalf("delay path = %v, want via node 1", got)
+	}
+	if got := byCost.To(3); len(got) != 3 || got[1] != 2 {
+		t.Fatalf("cost path = %v, want via node 2", got)
+	}
+	if byDelay.Dist[3] != 2 || byDelay.Delay[3] != 2 || byDelay.Cost[3] != 20 {
+		t.Fatalf("delay path metrics = dist %g delay %g cost %g", byDelay.Dist[3], byDelay.Delay[3], byDelay.Cost[3])
+	}
+	if byCost.Dist[3] != 2 || byCost.Delay[3] != 10 || byCost.Cost[3] != 2 {
+		t.Fatalf("cost path metrics = dist %g delay %g cost %g", byCost.Dist[3], byCost.Delay[3], byCost.Cost[3])
+	}
+}
+
+func TestShortestUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1, 1)
+	sp := Shortest(g, 0, ByDelay)
+	if sp.Reachable(2) {
+		t.Fatal("node 2 should be unreachable")
+	}
+	if sp.To(2) != nil {
+		t.Fatal("To(unreachable) should be nil")
+	}
+	if !math.IsInf(sp.Dist[2], 1) {
+		t.Fatalf("Dist[2] = %g, want +Inf", sp.Dist[2])
+	}
+}
+
+func TestShortestSelf(t *testing.T) {
+	g := line(t, 3)
+	sp := Shortest(g, 1, ByDelay)
+	if sp.Dist[1] != 0 {
+		t.Fatalf("Dist[self] = %g", sp.Dist[1])
+	}
+	p := sp.To(1)
+	if len(p) != 1 || p[0] != 1 {
+		t.Fatalf("To(self) = %v", p)
+	}
+}
+
+// bellmanFord is an independent reference implementation.
+func bellmanFord(g *Graph, src NodeID, w Weight) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for _, l := range g.Neighbors(NodeID(u)) {
+				if d := dist[u] + w(l); d < dist[l.To] {
+					dist[l.To] = d
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// Property: Dijkstra matches Bellman-Ford on random graphs, for both
+// weights.
+func TestPropertyDijkstraMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := Random(DefaultRandom(25, 4), rng)
+		if err != nil {
+			return false
+		}
+		src := NodeID(rng.Intn(g.N()))
+		for _, w := range []Weight{ByDelay, ByCost} {
+			got := Shortest(g, src, w)
+			want := bellmanFord(g, src, w)
+			for v := range want {
+				if math.Abs(got.Dist[v]-want[v]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the delay/cost annotations on a shortest path equal the sums
+// along the reconstructed node sequence.
+func TestPropertyPathAnnotations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := Random(DefaultRandom(20, 3), rng)
+		if err != nil {
+			return false
+		}
+		sp := Shortest(g, 0, ByCost)
+		for v := 0; v < g.N(); v++ {
+			path := sp.To(NodeID(v))
+			if path == nil {
+				return false // connected graph: everything reachable
+			}
+			if math.Abs(PathDelay(g, path)-sp.Delay[v]) > 1e-9 {
+				return false
+			}
+			if math.Abs(PathCost(g, path)-sp.Cost[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextHopConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := Random(DefaultRandom(30, 4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := NextHop(g)
+	// Following next-hops from any u must reach v with the shortest delay.
+	ap := NewAllPairs(g, ByDelay)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				if next[u][v] != -1 {
+					t.Fatalf("next[%d][%d] = %d, want -1", u, v, next[u][v])
+				}
+				continue
+			}
+			delay := 0.0
+			cur := NodeID(u)
+			for hops := 0; cur != NodeID(v); hops++ {
+				if hops > g.N() {
+					t.Fatalf("next-hop loop from %d to %d", u, v)
+				}
+				nh := next[cur][v]
+				l, ok := g.Edge(cur, nh)
+				if !ok {
+					t.Fatalf("next hop %d->%d not adjacent to %d", cur, nh, cur)
+				}
+				delay += l.Delay
+				cur = nh
+			}
+			if math.Abs(delay-ap[u].Delay[v]) > 1e-9 {
+				t.Fatalf("next-hop delay %d->%d = %g, want %g", u, v, delay, ap[u].Delay[v])
+			}
+		}
+	}
+}
+
+func TestPathDelayPanicsOnNonPath(t *testing.T) {
+	g := line(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PathDelay(g, []NodeID{0, 2})
+}
+
+func BenchmarkDijkstra100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	wg, err := Waxman(DefaultWaxman(100), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Shortest(wg.Graph, NodeID(i%100), ByDelay)
+	}
+}

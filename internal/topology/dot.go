@@ -1,0 +1,48 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, labelling each edge
+// with "(delay, cost)" like the paper's Fig. 5. highlight, if non-nil,
+// marks a set of directed tree edges (child -> parent) to draw bold.
+func WriteDOT(w io.Writer, g *Graph, name string, highlight map[[2]NodeID]bool) error {
+	if name == "" {
+		name = "topology"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	type edge struct {
+		u, v NodeID
+		l    Link
+	}
+	var edges []edge
+	for u := 0; u < g.N(); u++ {
+		for _, l := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < l.To {
+				edges = append(edges, edge{NodeID(u), l.To, l})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	for _, e := range edges {
+		attrs := fmt.Sprintf("label=\"(%.0f,%.0f)\"", e.l.Delay, e.l.Cost)
+		if highlight != nil && (highlight[[2]NodeID{e.u, e.v}] || highlight[[2]NodeID{e.v, e.u}]) {
+			attrs += ", style=bold, color=red"
+		}
+		if _, err := fmt.Fprintf(w, "  %d -- %d [%s];\n", e.u, e.v, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
