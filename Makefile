@@ -1,0 +1,31 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep them in sync.
+
+GO ?= go
+
+.PHONY: all build lint test test-invariants bench fmt
+
+all: lint test
+
+build:
+	$(GO) build ./...
+
+# gofmt, go vet, then the repo's own analysis suite (cmd/scmplint):
+# determinism and tree-safety analyzers over every non-test package.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/scmplint ./...
+
+test:
+	$(GO) test ./...
+
+# Same tests with the runtime invariant hooks armed: every committed
+# tree, every DCDM mutation and every routed fabric configuration is
+# re-verified (see internal/invariant).
+test-invariants:
+	$(GO) test -tags invariants ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -1,0 +1,84 @@
+// Command scmplint runs the repository's custom static-analysis suite —
+// the determinism and tree-safety analyzers in scmp/internal/lint — over
+// module packages and exits non-zero when any finding remains.
+//
+// Usage:
+//
+//	go run ./cmd/scmplint ./...
+//	go run ./cmd/scmplint -list
+//	go run ./cmd/scmplint ./internal/core ./internal/mtree
+//
+// Findings print one per line as file:line:col: [analyzer] message.
+// Individual lines can be suppressed with a "//scmplint:ignore <name>"
+// comment on the same or the preceding line; use sparingly and leave a
+// reason. The suite runs on the default build (files behind custom build
+// tags such as "invariants" are skipped, as in a normal compile).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scmp/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: scmplint [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				selected = append(selected, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "scmplint: unknown analyzer %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scmplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scmplint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Check(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scmplint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -12,8 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+	"scmp/internal/rng"
 
 	"scmp/internal/topology"
 )
@@ -42,13 +42,13 @@ func run(args []string, stdout io.Writer) error {
 	switch *kind {
 	case "waxman":
 		cfg := topology.WaxmanConfig{N: *n, Alpha: *alpha, Beta: *beta, GridSize: 32767, Connect: true}
-		wg, err := topology.Waxman(cfg, rand.New(rand.NewSource(*seed)))
+		wg, err := topology.Waxman(cfg, rng.New(*seed))
 		if err != nil {
 			return err
 		}
 		g = wg.Graph
 	case "random":
-		rg, err := topology.Random(topology.DefaultRandom(*n, *degree), rand.New(rand.NewSource(*seed)))
+		rg, err := topology.Random(topology.DefaultRandom(*n, *degree), rng.New(*seed))
 		if err != nil {
 			return err
 		}
@@ -56,7 +56,7 @@ func run(args []string, stdout io.Writer) error {
 	case "arpanet":
 		g = topology.Arpanet()
 	case "transitstub":
-		tg, _, err := topology.TransitStub(topology.DefaultTransitStub(), rand.New(rand.NewSource(*seed)))
+		tg, _, err := topology.TransitStub(topology.DefaultTransitStub(), rng.New(*seed))
 		if err != nil {
 			return err
 		}

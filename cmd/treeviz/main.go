@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"os"
+	"scmp/internal/rng"
 
 	"scmp/internal/mtree"
 	"scmp/internal/topology"
@@ -37,7 +37,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rng.New(*seed)
 	wg, err := topology.Waxman(topology.DefaultWaxman(*n), rng)
 	if err != nil {
 		return err

@@ -12,7 +12,7 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
+	"scmp/internal/rng"
 
 	"scmp/internal/core"
 	"scmp/internal/des"
@@ -30,14 +30,14 @@ const (
 )
 
 func main() {
-	g, err := topology.Random(topology.DefaultRandom(40, 3), rand.New(rand.NewSource(11)))
+	g, err := topology.Random(topology.DefaultRandom(40, 3), rng.New(11))
 	if err != nil {
 		panic(err)
 	}
 	g = g.ScaleDelays(1e-3) // read link delays as milliseconds
 
 	// Shared scenario: lecturer, students, churn schedule.
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	lecturer := topology.NodeID(rng.Intn(g.N()))
 	students := make([]topology.NodeID, 0, 12)
 	for _, v := range rng.Perm(g.N()) {

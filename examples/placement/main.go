@@ -10,8 +10,8 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
+	"scmp/internal/rng"
 
 	"scmp/internal/experiment"
 	"scmp/internal/mtree"
@@ -28,7 +28,7 @@ func main() {
 	// all conditions".
 	fmt.Println("\nper-topology winners (DCDM tree cost):")
 	for seed := int64(0); seed < 4; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		wg, err := topology.Waxman(topology.DefaultWaxman(cfg.Nodes), rng)
 		if err != nil {
 			panic(err)

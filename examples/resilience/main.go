@@ -14,7 +14,7 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
+	"scmp/internal/rng"
 
 	"scmp/internal/core"
 	"scmp/internal/des"
@@ -26,7 +26,7 @@ import (
 const group packet.GroupID = 1
 
 func main() {
-	g, err := topology.Random(topology.DefaultRandom(30, 4), rand.New(rand.NewSource(17)))
+	g, err := topology.Random(topology.DefaultRandom(30, 4), rng.New(17))
 	if err != nil {
 		panic(err)
 	}

@@ -16,7 +16,7 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
+	"scmp/internal/rng"
 
 	"scmp/internal/core"
 	"scmp/internal/fabric"
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(7))
+	rng := rng.New(7)
 	wg, err := topology.Waxman(topology.DefaultWaxman(30), rng)
 	if err != nil {
 		panic(err)

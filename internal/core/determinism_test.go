@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/rng"
+	"scmp/internal/topology"
+)
+
+// runScripted drives one SCMP domain through a seeded random
+// join/leave/data script and returns (a) the full link-crossing trace
+// and (b) the self-routing encoding of every group's final tree — the
+// exact bytes a TREE packet would carry. Everything observable flows
+// through these two artefacts, so two identically-seeded runs must
+// produce identical bytes.
+func runScripted(t *testing.T, seed int64) []byte {
+	t.Helper()
+	r := rng.New(seed)
+	g, err := topology.Random(topology.DefaultRandom(30, 4), rng.Split(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{MRouter: 0, Kappa: 1.5})
+	net := netsim.New(g, s)
+
+	var log bytes.Buffer
+	net.Trace = func(from, to topology.NodeID, pkt *netsim.Packet) {
+		fmt.Fprintf(&log, "%v %d->%d kind=%d g=%d src=%d ver=%d size=%d payload=%x\n",
+			net.Sched.Now(), from, to, pkt.Kind, pkt.Group, pkt.Src, pkt.Version, pkt.Size, pkt.Payload)
+	}
+
+	const groups = 3
+	joined := make(map[packet.GroupID][]topology.NodeID)
+	for step := 0; step < 40; step++ {
+		gid := packet.GroupID(1 + r.Intn(groups))
+		switch {
+		case len(joined[gid]) == 0 || r.Intn(3) > 0:
+			node := topology.NodeID(1 + r.Intn(29))
+			net.HostJoin(node, gid)
+			joined[gid] = append(joined[gid], node)
+		case r.Intn(2) == 0:
+			last := joined[gid][len(joined[gid])-1]
+			net.HostLeave(last, gid)
+			joined[gid] = joined[gid][:len(joined[gid])-1]
+		default:
+			src := topology.NodeID(r.Intn(30))
+			net.SendData(src, gid, 500)
+		}
+		net.Run()
+	}
+
+	for gid := packet.GroupID(1); gid <= groups; gid++ {
+		gs := s.groups[gid]
+		if gs == nil {
+			fmt.Fprintf(&log, "group %d: no state\n", gid)
+			continue
+		}
+		tree := gs.dcdm.Tree()
+		fmt.Fprintf(&log, "group %d ver=%d tree=%x\n",
+			gid, gs.version, packet.EncodeSubtree(packet.BuildSubtree(tree, tree.Root())))
+	}
+	return log.Bytes()
+}
+
+// TestRunsAreByteIdentical is the determinism regression test behind
+// the maporder fixes: protocol-visible iteration now goes through
+// sorted keys, so two runs from the same seed must agree byte for byte
+// — every link crossing in order, and every final tree encoding. Before
+// the fixes, Go's randomised map iteration order made Flush fan-out,
+// data forwarding and failover rebuild order differ run to run.
+func TestRunsAreByteIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a := runScripted(t, seed)
+		b := runScripted(t, seed)
+		if !bytes.Equal(a, b) {
+			line := 1
+			for i := 0; i < len(a) && i < len(b); i++ {
+				if a[i] != b[i] {
+					break
+				}
+				if a[i] == '\n' {
+					line++
+				}
+			}
+			t.Fatalf("seed %d: two identically-seeded runs diverge at trace line %d", seed, line)
+		}
+	}
+}

@@ -489,8 +489,13 @@ func (s *SCMP) Failover() {
 	s.epoch++
 	old := s.groups
 	s.groups = make(map[packet.GroupID]*groupState)
-	for g, members := range s.replica {
-		if len(members) == 0 {
+	gids := make([]packet.GroupID, 0, len(s.replica))
+	for g := range s.replica {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, g := range gids {
+		if len(s.replica[g]) == 0 {
 			continue
 		}
 		gs := s.group(g) // rooted at the new active m-router
@@ -523,6 +528,7 @@ func (s *SCMP) syncMRouterEntry(g packet.GroupID, gs *groupState) {
 	}
 	e.downstream = down
 	e.version = gs.version
+	commitCheck(s.home(g), gs.dcdm.Tree())
 }
 
 // distributeTree sends one self-routing TREE packet per child subtree of
@@ -645,7 +651,7 @@ func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
 			Size:    len(payload) + 8,
 		})
 	}
-	for d := range e.downstream {
+	for _, d := range topology.SortedNodes(e.downstream) {
 		if !newDown[d] {
 			s.net.SendLink(node, d, &netsim.Packet{
 				Kind:    packet.Flush,
@@ -729,7 +735,7 @@ func (s *SCMP) handleFlush(node topology.NodeID, pkt *netsim.Packet) {
 	if pkt.Version < e.version || pkt.From != e.upstream {
 		return // already re-homed by a newer distribution
 	}
-	for d := range e.downstream {
+	for _, d := range topology.SortedNodes(e.downstream) {
 		s.net.SendLink(node, d, &netsim.Packet{
 			Kind:    packet.Flush,
 			Group:   pkt.Group,
@@ -781,7 +787,7 @@ func (s *SCMP) forwardOnTree(node topology.NodeID, e *entry, pkt *netsim.Packet,
 	if e.upstream != noUpstream && e.upstream != except {
 		s.net.SendLink(node, e.upstream, pkt)
 	}
-	for d := range e.downstream {
+	for _, d := range topology.SortedNodes(e.downstream) {
 		if d != except {
 			s.net.SendLink(node, d, pkt)
 		}

@@ -3,7 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"math/rand"
+	"scmp/internal/rng"
 	"sort"
 
 	"scmp/internal/core"
@@ -56,7 +56,7 @@ func RunConcentration(cfg ConcentrationConfig) []ConcentrationPoint {
 		points[s] = &ConcentrationPoint{Scheme: s, CenterLoad: &stats.Sample{}, MaxLink: &stats.Sample{}}
 	}
 	for seed := 0; seed < cfg.Seeds; seed++ {
-		g, err := topology.Random(topology.DefaultRandom(cfg.Nodes, cfg.Degree), rand.New(rand.NewSource(int64(seed))))
+		g, err := topology.Random(topology.DefaultRandom(cfg.Nodes, cfg.Degree), rng.New(int64(seed)))
 		if err != nil {
 			panic(err)
 		}
@@ -64,7 +64,7 @@ func RunConcentration(cfg ConcentrationConfig) []ConcentrationPoint {
 		// Centers: the best-placed node plus the next-best spread
 		// (deterministic: ranked by average delay).
 		centers := rankedCenters(g, 4)
-		wl := rand.New(rand.NewSource(int64(seed) * 31337))
+		wl := rng.New(int64(seed) * 31337)
 		type plan struct{ members, senders []topology.NodeID }
 		plans := make([]plan, cfg.Groups)
 		for i := range plans {

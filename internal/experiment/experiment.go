@@ -7,13 +7,13 @@
 package experiment
 
 import (
-	"math/rand"
+	"scmp/internal/rng"
 
 	"scmp/internal/topology"
 )
 
 // pickMembers draws k distinct member routers, never the excluded node.
-func pickMembers(rng *rand.Rand, n, k int, exclude topology.NodeID) []topology.NodeID {
+func pickMembers(rng *rng.Rand, n, k int, exclude topology.NodeID) []topology.NodeID {
 	perm := rng.Perm(n)
 	out := make([]topology.NodeID, 0, k)
 	for _, v := range perm {
@@ -49,13 +49,13 @@ func BuildTopology(name string, seed int64) *topology.Graph {
 	case TopoArpanet:
 		return topology.Arpanet().ScaleDelays(delayScale)
 	case TopoRand3:
-		g, err := topology.Random(topology.DefaultRandom(50, 3), rand.New(rand.NewSource(seed)))
+		g, err := topology.Random(topology.DefaultRandom(50, 3), rng.New(seed))
 		if err != nil {
 			panic(err)
 		}
 		return g.ScaleDelays(delayScale)
 	case TopoRand5:
-		g, err := topology.Random(topology.DefaultRandom(50, 5), rand.New(rand.NewSource(seed)))
+		g, err := topology.Random(topology.DefaultRandom(50, 5), rng.New(seed))
 		if err != nil {
 			panic(err)
 		}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
+	"scmp/internal/rng"
 	"sort"
 
 	"scmp/internal/mtree"
@@ -72,7 +72,7 @@ func RunFig7(cfg Fig7Config) []Fig7Point {
 		return p
 	}
 	for seed := 0; seed < cfg.Seeds; seed++ {
-		rng := rand.New(rand.NewSource(int64(seed)))
+		rng := rng.New(int64(seed))
 		wcfg := topology.WaxmanConfig{N: cfg.Nodes, Alpha: cfg.Alpha, Beta: cfg.Beta, GridSize: 32767, Connect: true}
 		wg, err := topology.Waxman(wcfg, rng)
 		if err != nil {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
+	"scmp/internal/rng"
 	"sort"
 
 	"scmp/internal/mtree"
@@ -32,7 +32,7 @@ func DefaultFig7x() Fig7xConfig {
 var Fig7xFamilies = []string{"waxman100", "random50-deg3", "random50-deg5", "transitstub112", "arpanet20"}
 
 func buildFamily(name string, seed int64) *topology.Graph {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	switch name {
 	case "waxman100":
 		wg, err := topology.Waxman(topology.DefaultWaxman(100), rng)
@@ -100,7 +100,7 @@ func RunFig7x(cfg Fig7xConfig) []Fig7xPoint {
 			if size >= g.N() {
 				size = g.N() - 2
 			}
-			wl := rand.New(rand.NewSource(int64(seed) * 977))
+			wl := rng.New(int64(seed) * 977)
 			members := pickMembers(wl, g.N(), size, 0)
 			spDelay := topology.NewAllPairs(g, topology.ByDelay)
 			spCost := topology.NewAllPairs(g, topology.ByCost)

@@ -3,7 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"math/rand"
+	"scmp/internal/rng"
 	"sort"
 
 	"scmp/internal/core"
@@ -159,7 +159,7 @@ func RunFig89(cfg Fig89Config) []Fig89Point {
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			g := BuildTopology(topo, int64(seed))
 			center := Center(g)
-			rng := rand.New(rand.NewSource(int64(seed) * 7919))
+			rng := rng.New(int64(seed) * 7919)
 			for _, size := range cfg.GroupSizes {
 				if size >= g.N() {
 					continue

@@ -3,7 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"math/rand"
+	"scmp/internal/rng"
 	"sort"
 
 	"scmp/internal/mtree"
@@ -43,7 +43,7 @@ type PlacementPoint struct {
 
 // Place returns the m-router node a rule selects on g. The random rule
 // consumes rng.
-func Place(rule string, g *topology.Graph, rng *rand.Rand) topology.NodeID {
+func Place(rule string, g *topology.Graph, rng *rng.Rand) topology.NodeID {
 	switch rule {
 	case "rule1-avgdelay":
 		return Center(g)
@@ -80,7 +80,7 @@ func RunPlacement(cfg PlacementConfig) []PlacementPoint {
 		points[rule] = &PlacementPoint{Rule: rule, TreeCost: &stats.Sample{}, TreeDelay: &stats.Sample{}}
 	}
 	for seed := 0; seed < cfg.Seeds; seed++ {
-		rng := rand.New(rand.NewSource(int64(seed)))
+		rng := rng.New(int64(seed))
 		wg, err := topology.Waxman(topology.DefaultWaxman(cfg.Nodes), rng)
 		if err != nil {
 			panic(err)

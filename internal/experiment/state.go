@@ -3,7 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"math/rand"
+	"scmp/internal/rng"
 	"sort"
 
 	"scmp/internal/netsim"
@@ -69,7 +69,7 @@ func RunState(cfg StateConfig) []StatePoint {
 		return p
 	}
 	for seed := 0; seed < cfg.Seeds; seed++ {
-		g, err := topology.Random(topology.DefaultRandom(cfg.Nodes, cfg.Degree), rand.New(rand.NewSource(int64(seed))))
+		g, err := topology.Random(topology.DefaultRandom(cfg.Nodes, cfg.Degree), rng.New(int64(seed)))
 		if err != nil {
 			panic(err)
 		}
@@ -78,7 +78,7 @@ func RunState(cfg StateConfig) []StatePoint {
 		for _, groups := range cfg.Groups {
 			// One shared workload per (seed, groups): per group, a
 			// member set and a sender set.
-			wl := rand.New(rand.NewSource(int64(seed)*1e6 + int64(groups)))
+			wl := rng.New(int64(seed)*1e6 + int64(groups))
 			type groupPlan struct {
 				members []topology.NodeID
 				senders []topology.NodeID

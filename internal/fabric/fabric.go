@@ -129,10 +129,12 @@ func (f *Fabric) Configure(groups map[packet.GroupID]GroupConn) (*Configuration,
 	for gid, gc := range groups {
 		cfgGroups[gid] = GroupConn{Inputs: append([]int(nil), gc.Inputs...), Output: gc.Output}
 	}
-	return &Configuration{
+	cfg := &Configuration{
 		n: f.n, pn: pn, dn: dn,
 		groups: cfgGroups, runStart: runStart, groupOfRun: groupOfRun,
-	}, nil
+	}
+	verifyHook(cfg)
+	return cfg, nil
 }
 
 // fillPartial completes a partial permutation (-1 = unassigned) by

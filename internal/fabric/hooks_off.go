@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package fabric
+
+// verifyHook is a no-op unless built with -tags invariants, which turns
+// it into a Verify call on every configuration Configure routes.
+func verifyHook(*Configuration) {}

@@ -1,0 +1,12 @@
+//go:build invariants
+
+package fabric
+
+// verifyHook re-verifies every configuration Configure routes. A
+// failure is a routing bug in this package, never bad caller input
+// (Configure validates that first), so it panics.
+func verifyHook(c *Configuration) {
+	if err := c.Verify(); err != nil {
+		panic("fabric: invariant violated after Configure: " + err.Error())
+	}
+}

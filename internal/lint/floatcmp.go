@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags `==` and `!=` between two non-constant floating-point
+// values (including named float types such as des.Time) in the
+// deterministic core packages. Delay and cost values are sums of float
+// link weights, so equality between two independently computed sums is
+// representation-dependent: a different summation order — exactly what a
+// future parallel tree computation would introduce — flips the result
+// and with it a protocol decision. Comparisons against constants (`x ==
+// 0` sentinel checks) are exact and allowed; ordered comparisons are
+// allowed; ties must be broken with a `<`/`>` ladder or an explicit
+// epsilon. Genuinely intentional exact equality can carry a
+// "//scmplint:ignore floatcmp" comment.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between non-constant floating-point delay/cost values",
+	Run:  runFloatCmp,
+}
+
+// floatCmpStrict mirrors noClockStrict: the packages whose float
+// comparisons feed protocol decisions.
+var floatCmpStrict = map[string]bool{
+	"scmp/internal/core":    true,
+	"scmp/internal/mtree":   true,
+	"scmp/internal/des":     true,
+	"scmp/internal/packet":  true,
+	"scmp/internal/fabric":  true,
+	"scmp/internal/session": true,
+	"scmp/internal/netsim":  true,
+}
+
+func runFloatCmp(p *Pass) {
+	if !floatCmpStrict[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) && !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstant(p, be.X) || isConstant(p, be.Y) {
+				return true // exact sentinel comparison, e.g. kappa == 0
+			}
+			p.Reportf(be.Pos(),
+				"floating-point %s between computed values (%s); order of summation can flip this — break ties with </> or compare with an epsilon",
+				be.Op, p.TypeOf(be.X))
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConstant(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}

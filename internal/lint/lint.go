@@ -1,0 +1,211 @@
+// Package lint is the repository's static-analysis framework: a
+// self-contained mirror of the golang.org/x/tools/go/analysis API shape
+// built only on the standard library (the build environment is offline,
+// so x/tools cannot be vendored). It loads and type-checks the module's
+// packages, runs a suite of repo-specific analyzers over them, and
+// reports diagnostics. cmd/scmplint is the command-line driver.
+//
+// The analyzers guard the properties the whole reproduction depends on:
+// the m-router computes every tree centrally and ships it out in
+// self-routing packets, so a single nondeterministic map iteration or an
+// unchecked wall-clock read silently produces different trees (and
+// different Fig. 7-9 curves) run to run. See the individual analyzer
+// docs: maporder, noclock, desdiscipline, floatcmp.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a fully type-checked package
+// through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in output and ignore comments
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string      // package import path ("scmp/internal/core")
+	Files    []*ast.File // non-test files of the default build
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[*ast.File]map[int][]string // line -> analyzer names ignored
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an ignore comment
+// ("//scmplint:ignore <name>" on the same line or the line above)
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignoredAt(pos, position.Line) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ignoredAt reports whether an ignore comment covers line (or the line
+// above it) for this analyzer.
+func (p *Pass) ignoredAt(pos token.Pos, line int) bool {
+	f := p.fileOf(pos)
+	if f == nil {
+		return false
+	}
+	if p.ignores == nil {
+		p.ignores = make(map[*ast.File]map[int][]string)
+	}
+	lines, ok := p.ignores[f]
+	if !ok {
+		lines = parseIgnores(p.Fset, f)
+		p.ignores[f] = lines
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == "all" || name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// parseIgnores extracts "scmplint:ignore a b c" directives per line.
+func parseIgnores(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "scmplint:ignore") {
+				continue
+			}
+			names := strings.Fields(strings.TrimPrefix(text, "scmplint:ignore"))
+			if len(names) == 0 {
+				names = []string{"all"}
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], names...)
+		}
+	}
+	return out
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, NoClock, DESDiscipline, FloatCmp}
+}
+
+// Check runs the given analyzers over every package and returns all
+// findings ordered by file position.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// walk traverses root keeping an ancestor stack (root first). visit runs
+// before descending into n; the stack includes n itself.
+func walk(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		visit(n, stack)
+		return true
+	})
+}
+
+// pkgNameOf returns the imported package an identifier refers to, nil
+// when id is not a package name.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if obj, ok := info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// selectorPkg returns the import path and selected name when e is a
+// qualified identifier like time.Now; ok is false otherwise.
+func selectorPkg(info *types.Info, e ast.Expr) (path, name string, sel *ast.SelectorExpr, ok bool) {
+	s, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", nil, false
+	}
+	id, isID := s.X.(*ast.Ident)
+	if !isID {
+		return "", "", nil, false
+	}
+	pn := pkgNameOf(info, id)
+	if pn == nil {
+		return "", "", nil, false
+	}
+	return pn.Imported().Path(), s.Sel.Name, s, true
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOn type-checks src as a synthetic package at importPath and
+// returns the analyzer's findings as formatted strings.
+func runOn(t *testing.T, a *Analyzer, importPath, src string) []string {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckSource(importPath, map[string]string{importPath + "/x.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, d := range Check([]*Package{pkg}, []*Analyzer{a}) {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func wantFindings(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d finding(s) %v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("finding %d = %q, want it to mention %q", i, got[i], w)
+		}
+	}
+}
+
+func TestMapOrderFlagsUnsortedSend(t *testing.T) {
+	got := runOn(t, MapOrder, "scmp/internal/core", `
+package core
+type pkt struct{}
+type net struct{}
+func (net) SendLink(to int, p pkt) {}
+func fanOut(n net, downstream map[int]bool) {
+	for d := range downstream {
+		n.SendLink(d, pkt{})
+	}
+}`)
+	wantFindings(t, got, "range over map downstream is iteration-order dependent")
+}
+
+func TestMapOrderFlagsEscapingAppend(t *testing.T) {
+	got := runOn(t, MapOrder, "scmp/internal/core", `
+package core
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}`)
+	wantFindings(t, got, "appends to keys")
+}
+
+func TestMapOrderAllowsCollectThenSort(t *testing.T) {
+	got := runOn(t, MapOrder, "scmp/internal/core", `
+package core
+import "sort"
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}`)
+	wantFindings(t, got)
+}
+
+func TestMapOrderAllowsLoopLocalAppendAndPureReads(t *testing.T) {
+	got := runOn(t, MapOrder, "scmp/internal/core", `
+package core
+func sum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		parts := []float64{}
+		parts = append(parts, v)
+		total += parts[0]
+	}
+	return total
+}`)
+	wantFindings(t, got)
+}
+
+func TestMapOrderIgnoreComment(t *testing.T) {
+	got := runOn(t, MapOrder, "scmp/internal/core", `
+package core
+func emit(m map[int]bool, send func(int)) {
+	//scmplint:ignore maporder — order independent by construction
+	for k := range m {
+		send(k)
+	}
+}`)
+	wantFindings(t, got)
+}
+
+func TestNoClockFlagsWallClockInStrictPackage(t *testing.T) {
+	got := runOn(t, NoClock, "scmp/internal/des", `
+package des
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }`)
+	wantFindings(t, got, "wall-clock time.Now")
+}
+
+func TestNoClockAllowsWallClockOutsideStrictPackages(t *testing.T) {
+	got := runOn(t, NoClock, "scmp/cmd/scmpsim", `
+package main
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }`)
+	wantFindings(t, got)
+}
+
+func TestNoClockFlagsGlobalRandEverywhere(t *testing.T) {
+	got := runOn(t, NoClock, "scmp/internal/experiment", `
+package experiment
+import "math/rand"
+func draw() int { return rand.Intn(10) }`)
+	wantFindings(t, got, "global rand.Intn")
+}
+
+func TestNoClockFlagsDirectConstructionOutsideRng(t *testing.T) {
+	got := runOn(t, NoClock, "scmp/internal/experiment", `
+package experiment
+import "math/rand"
+func mk(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`)
+	wantFindings(t, got, "direct rand.New", "direct rand.NewSource")
+}
+
+func TestNoClockAllowsTypeReferencesAndRngPackage(t *testing.T) {
+	got := runOn(t, NoClock, "scmp/internal/rng", `
+package rng
+import "math/rand"
+func mk(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`)
+	wantFindings(t, got)
+}
+
+func TestDESDisciplineFlagsSyncTopologyMutation(t *testing.T) {
+	got := runOn(t, DESDiscipline, "scmp/internal/protocols/bad", `
+package bad
+import (
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+type P struct{ g *topology.Graph }
+func (p *P) HostJoin(node topology.NodeID, gid packet.GroupID) {
+	p.g.MustAddEdge(0, node, 1, 1)
+}`)
+	wantFindings(t, got, "event handler HostJoin mutates the topology synchronously")
+}
+
+func TestDESDisciplineAllowsScheduledMutation(t *testing.T) {
+	got := runOn(t, DESDiscipline, "scmp/internal/protocols/good", `
+package good
+import (
+	"scmp/internal/des"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+type P struct {
+	g  *topology.Graph
+	sc *des.Scheduler
+}
+func (p *P) HostJoin(node topology.NodeID, gid packet.GroupID) {
+	p.sc.After(1, func() { p.g.MustAddEdge(0, node, 1, 1) })
+}`)
+	wantFindings(t, got)
+}
+
+func TestFloatCmpFlagsComputedEquality(t *testing.T) {
+	got := runOn(t, FloatCmp, "scmp/internal/mtree", `
+package mtree
+func tie(a, b float64) bool { return a == b }`)
+	wantFindings(t, got, "floating-point ==")
+}
+
+func TestFloatCmpAllowsConstantsOrderingAndOtherPackages(t *testing.T) {
+	got := runOn(t, FloatCmp, "scmp/internal/mtree", `
+package mtree
+func sentinel(a float64) bool { return a == 0 }
+func order(a, b float64) bool { return a < b }`)
+	wantFindings(t, got)
+	got = runOn(t, FloatCmp, "scmp/internal/experiment", `
+package experiment
+func tie(a, b float64) bool { return a == b }`)
+	wantFindings(t, got)
+}
+
+func TestNamedFloatTypesAreFlagged(t *testing.T) {
+	got := runOn(t, FloatCmp, "scmp/internal/des", `
+package des
+type Time float64
+func same(a, b Time) bool { return a == b }`)
+	wantFindings(t, got, "floating-point ==")
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // parsed non-test files of the default build
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing module without
+// golang.org/x/tools: module packages are parsed from source and
+// standard-library imports are resolved through go/importer's source
+// importer, so no compiled export data or network access is needed.
+type Loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader builds a loader for the module containing dir (dir or any
+// parent must hold go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePathOf(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleDir:  root,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+func modulePathOf(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	m := moduleLineRE.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("lint: no module line in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+// ModulePath returns the module's import path.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// Load resolves patterns ("./...", "./internal/core", or full import
+// paths) into loaded packages, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walkDirs(l.moduleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				paths[l.importPathFor(d)] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dirs, err := l.walkDirs(filepath.Join(l.moduleDir, filepath.FromSlash(strings.TrimPrefix(base, "./"))))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				paths[l.importPathFor(d)] = true
+			}
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			paths[l.importPathFor(filepath.Join(l.moduleDir, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))] = true
+		default:
+			paths[pat] = true
+		}
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	out := make([]*Package, 0, len(sorted))
+	for _, p := range sorted {
+		pkg, err := l.loadPath(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil { // directories without buildable Go files are skipped
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// walkDirs lists every directory under root holding at least one
+// non-test .go file, skipping hidden and testdata directories.
+func (l *Loader) walkDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if goFileName(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func goFileName(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil || rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) dirFor(path string) string {
+	if path == l.modulePath {
+		return l.moduleDir
+	}
+	return filepath.Join(l.moduleDir, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath+"/")))
+}
+
+// Import implements types.Importer: module packages load from source,
+// everything else goes to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no buildable Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadPath loads and type-checks one module package (cached). It returns
+// (nil, nil) for directories with no buildable files.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !goFileName(e.Name()) {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// CheckSource type-checks synthetic sources as a package with the given
+// import path (imports resolve against the real module and the standard
+// library). Analyzer tests use it to exercise findings without touching
+// the repository's own files. The result is not cached.
+func (l *Loader) CheckSource(path string, sources map[string]string) (*Package, error) {
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(path, files)
+}
+
+func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: l.dirFor(path), Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any)
+// against the default build: current GOOS/GOARCH, gc, and release tags.
+// Custom tags like "invariants" evaluate false, so tag-gated hook files
+// stay out of the default lint build exactly as they stay out of the
+// default compile.
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(defaultTag)
+		}
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+	}
+	return true
+}
+
+var releaseTagRE = regexp.MustCompile(`^go1\.\d+$`)
+
+func defaultTag(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		tag == "unix" && (runtime.GOOS == "linux" || runtime.GOOS == "darwin") ||
+		releaseTagRE.MatchString(tag)
+}

@@ -22,6 +22,7 @@ package mrouter
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"scmp/internal/fabric"
 	"scmp/internal/packet"
@@ -163,7 +164,13 @@ func (m *MRouter) Step() []Merged {
 			a.oldest = head.enq
 		}
 	}
-	for _, a := range merged {
+	gids := make([]packet.GroupID, 0, len(merged))
+	for gid := range merged {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		a := merged[gid]
 		m.stats.MergedCells++
 		if len(m.outQ[a.output]) >= m.cfg.OutputDepth {
 			m.stats.DroppedOutput++

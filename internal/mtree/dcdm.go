@@ -153,6 +153,7 @@ func (d *DCDM) Join(s topology.NodeID) JoinResult {
 	if ul > d.maxUL {
 		d.maxUL = ul
 	}
+	treeCheckHook(d.tree)
 	return res
 }
 
@@ -177,10 +178,23 @@ func (d *DCDM) bestGraftPath(s topology.NodeID, bound float64) []topology.NodeID
 			return
 		}
 		c := cand{cost: sp.Cost[v], ml: ml, node: v, sp: sp}
-		if best == nil ||
-			c.cost < best.cost ||
-			(c.cost == best.cost && c.ml < best.ml) ||
-			(c.cost == best.cost && c.ml == best.ml && c.node < best.node) {
+		// Strict </> ladder: cost, then multicast delay, then node id.
+		// Exact float equality as a tie-break would make the choice
+		// depend on summation order.
+		better := best == nil
+		if !better {
+			switch {
+			case c.cost < best.cost:
+				better = true
+			case best.cost < c.cost:
+			case c.ml < best.ml:
+				better = true
+			case best.ml < c.ml:
+			default:
+				better = c.node < best.node
+			}
+		}
+		if better {
 			best = &c
 		}
 	}
@@ -213,6 +227,7 @@ func (d *DCDM) Leave(s topology.NodeID) LeaveResult {
 			d.maxUL = ul
 		}
 	}
+	treeCheckHook(d.tree)
 	return res
 }
 

@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package mtree
+
+// treeCheckHook is a no-op unless built with -tags invariants, which
+// turns it into a Validate call after every DCDM tree mutation.
+func treeCheckHook(*Tree) {}

@@ -55,8 +55,13 @@ func KMB(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spC
 			if inMST[t] {
 				continue
 			}
-			if d := bestDist[t]; d < pickDist || (d == pickDist && (pick == -1 || t < pick)) {
+			switch d := bestDist[t]; {
+			case pick == -1 || d < pickDist:
 				pick, pickDist = t, d
+			case pickDist < d:
+				// strictly farther: keep the current pick
+			case t < pick:
+				pick, pickDist = t, d // exact tie on distance: lowest id
 			}
 		}
 		if pick == -1 || math.IsInf(pickDist, 1) {
@@ -102,8 +107,11 @@ func KMB(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spC
 	sort.Slice(edges, func(i, j int) bool {
 		li, _ := g.Edge(edges[i].u, edges[i].v)
 		lj, _ := g.Edge(edges[j].u, edges[j].v)
-		if li.Cost != lj.Cost {
-			return li.Cost < lj.Cost
+		if li.Cost < lj.Cost {
+			return true
+		}
+		if lj.Cost < li.Cost {
+			return false
 		}
 		if edges[i].u != edges[j].u {
 			return edges[i].u < edges[j].u

@@ -1,0 +1,25 @@
+package mtree
+
+import "scmp/internal/topology"
+
+// Rebuild constructs a Tree directly from a parent map, bypassing the
+// attach/detach mutators and ALL structural validation. It exists for
+// two callers only: deserialising a tree whose well-formedness is
+// checked separately, and tests that need deliberately corrupt trees
+// (cycles, orphaned branches, phantom edges) to prove the invariant
+// checker rejects them. Protocol code must never call it — the safe
+// mutators are the reason committed trees are trees.
+func Rebuild(g *topology.Graph, root topology.NodeID, parents map[topology.NodeID]topology.NodeID, members []topology.NodeID) *Tree {
+	t := NewTree(g, root)
+	for child, parent := range parents {
+		t.parent[child] = parent
+		if t.children[parent] == nil {
+			t.children[parent] = make(map[topology.NodeID]bool)
+		}
+		t.children[parent][child] = true
+	}
+	for _, m := range members {
+		t.members[m] = true
+	}
+	return t
+}

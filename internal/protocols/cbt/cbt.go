@@ -261,7 +261,7 @@ func (c *CBT) forwardOnTree(node topology.NodeID, e *entry, pkt *netsim.Packet, 
 	if e.upstream != noUpstream && e.upstream != except {
 		c.net.SendLink(node, e.upstream, pkt)
 	}
-	for d := range e.downstream {
+	for _, d := range topology.SortedNodes(e.downstream) {
 		if d != except {
 			c.net.SendLink(node, d, pkt)
 		}

@@ -12,6 +12,8 @@
 package dvmrp
 
 import (
+	"sort"
+
 	"scmp/internal/des"
 	"scmp/internal/netsim"
 	"scmp/internal/packet"
@@ -93,11 +95,16 @@ func (d *DVMRP) HostJoin(node topology.NodeID, g packet.GroupID) {
 		d.localMembers[node] = make(map[packet.GroupID]bool)
 	}
 	d.localMembers[node][g] = true
+	var srcs []topology.NodeID
 	for key := range d.sentPrune {
 		if key.node == node && key.group == g {
-			delete(d.sentPrune, key)
-			d.sendGraft(node, key.src, g)
+			srcs = append(srcs, key.src)
 		}
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		delete(d.sentPrune, stateKey{node, src, g})
+		d.sendGraft(node, src, g)
 	}
 }
 

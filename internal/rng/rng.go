@@ -1,0 +1,30 @@
+// Package rng is the single construction point for seeded randomness in
+// this reproduction. Every simulation, generator and experiment derives
+// its random stream from an explicit integer seed through New (or from a
+// parent stream through Split), so identically-seeded runs are
+// bit-reproducible. The scmplint noclock analyzer enforces the funnel:
+// outside this package (and tests), constructing math/rand generators
+// directly or calling the globally-seeded top-level math/rand functions
+// is a lint error.
+package rng
+
+import "math/rand"
+
+// Rand is the concrete generator type threaded through the codebase; an
+// alias so callers need not import math/rand for the type name.
+type Rand = rand.Rand
+
+// New returns a deterministic generator for the given seed. Equal seeds
+// yield identical streams on every platform and run.
+func New(seed int64) *Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Split derives an independent child generator from parent by drawing
+// one value from it. Deriving per-subsystem streams this way keeps a
+// single injected seed as the only source of randomness while letting
+// subsystems consume their streams in any order (a prerequisite for the
+// roadmap's parallel sweeps: each worker gets its own Split).
+func Split(parent *Rand) *Rand {
+	return New(parent.Int63())
+}

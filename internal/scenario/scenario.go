@@ -30,7 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
+	"scmp/internal/rng"
 	"sort"
 	"strconv"
 	"strings"
@@ -229,7 +229,7 @@ func (st *state) execTopology(c command) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(int64(seed)))
+	rng := rng.New(int64(seed))
 	switch c.args[0] {
 	case "arpanet":
 		st.g = topology.Arpanet()

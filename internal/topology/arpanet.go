@@ -1,6 +1,6 @@
 package topology
 
-import "math/rand"
+import "scmp/internal/rng"
 
 // arpanetEdges is the classic 20-node ARPANET map widely used as a fixed
 // reference topology in multicast-routing evaluations (the paper uses
@@ -36,7 +36,7 @@ const ArpanetN = 20
 // returns an identical instance (cost uniform in [10,100), delay uniform
 // in (0, cost], matching the conventions of the random generators).
 func Arpanet() *Graph {
-	rng := rand.New(rand.NewSource(1969)) // ARPANET's birth year; fixed instance
+	rng := rng.New(1969) // ARPANET's birth year; fixed instance
 	g := New(ArpanetN)
 	for _, e := range arpanetEdges {
 		cost := 10 + rng.Float64()*90

@@ -1,0 +1,18 @@
+package topology
+
+import "sort"
+
+// SortedNodes returns the keys of a node set in ascending order. Map
+// iteration order is randomised per run, so any protocol-visible walk
+// over a node set (forwarding a packet to each downstream neighbour,
+// flushing stale branches, …) must go through a sorted slice to keep
+// runs reproducible. The maporder analyzer in internal/lint flags the
+// raw ranges this helper replaces.
+func SortedNodes(set map[NodeID]bool) []NodeID {
+	nodes := make([]NodeID, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
