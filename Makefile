@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-invariants bench fmt
+.PHONY: all build lint test test-invariants bench bench-quick smoke-parallel fmt
 
 all: lint test
 
@@ -29,3 +29,12 @@ test-invariants:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Fast benchmark pass: just the serial-vs-parallel runner comparison.
+bench-quick:
+	$(GO) test -bench Fig89Parallelism -benchtime 1x -run '^$$' .
+
+# End-to-end smoke of the parallel runner under the race detector: a
+# quick Fig. 7 sweep fanned over 4 workers.
+smoke-parallel:
+	$(GO) run -race ./cmd/scmpsim -experiment fig7 -quick -parallel 4 -out /dev/null

@@ -73,6 +73,23 @@ func BenchmarkFig8Overhead(b *testing.B) {
 	}
 }
 
+// BenchmarkFig89Parallelism compares the serial path against worker-pool
+// widths on the same Fig. 8/9 sweep. Output is byte-identical across
+// widths (see internal/core's cross-mode tests); this measures only
+// wall-clock. On a single-core box the widths tie — the speedup shows up
+// where GOMAXPROCS > 1.
+func BenchmarkFig89Parallelism(b *testing.B) {
+	for _, width := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel%d", width), func(b *testing.B) {
+			cfg := benchFig89Cfg()
+			cfg.Parallel = width
+			for i := 0; i < b.N; i++ {
+				experiment.RunFig89(cfg)
+			}
+		})
+	}
+}
+
 // BenchmarkFig9Delay regenerates Fig. 9 (a–c): maximum end-to-end delay.
 func BenchmarkFig9Delay(b *testing.B) {
 	var points []experiment.Fig89Point

@@ -7,13 +7,40 @@ import (
 	"scmp/internal/experiment"
 )
 
+// options collects the CLI knobs dispatch needs.
+type options struct {
+	experiment string
+	seeds      int  // 0 = paper default
+	quick      bool // shrink sweeps for a smoke run
+	parallel   int  // worker pool width; 0 = GOMAXPROCS, 1 = serial
+	format     string
+	progress   io.Writer // shard progress sink (nil = silent)
+}
+
+// progressFor builds a per-experiment shard-completion reporter writing
+// to opt.progress. It may be called concurrently from workers; each call
+// is a single Write. Completions can land slightly out of order under
+// parallelism — the line converges to total/total regardless.
+func (opt options) progressFor(label string) func(done, total int) {
+	if opt.progress == nil {
+		return nil
+	}
+	return func(done, total int) {
+		if done == total {
+			fmt.Fprintf(opt.progress, "\r%s: %d/%d shards\n", label, done, total)
+			return
+		}
+		fmt.Fprintf(opt.progress, "\r%s: %d/%d shards", label, done, total)
+	}
+}
+
 // dispatch runs the selected experiment(s) and writes results as
 // paper-style tables or CSV.
-func dispatch(w io.Writer, name string, seeds int, quick bool, format string) error {
-	if format != "table" && format != "csv" {
-		return fmt.Errorf("unknown format %q (want table or csv)", format)
+func dispatch(w io.Writer, opt options) error {
+	if opt.format != "table" && opt.format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", opt.format)
 	}
-	csv := format == "csv"
+	csv := opt.format == "csv"
 	header := func(s string, args ...any) {
 		if !csv {
 			fmt.Fprintf(w, s, args...)
@@ -22,52 +49,59 @@ func dispatch(w io.Writer, name string, seeds int, quick bool, format string) er
 
 	fig7cfg := func() experiment.Fig7Config {
 		cfg := experiment.DefaultFig7()
-		if quick {
-			cfg.Nodes, cfg.GroupSizes, cfg.Seeds = 50, []int{10, 30, 50}, 3
+		if opt.quick {
+			// Sizes stay below quick-mode Nodes: the root is excluded, so
+			// a 50-member group cannot be drawn from a 50-node graph.
+			cfg.Nodes, cfg.GroupSizes, cfg.Seeds = 50, []int{10, 25, 45}, 3
 		}
-		if seeds > 0 {
-			cfg.Seeds = seeds
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
 		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor("fig7")
 		return cfg
 	}
-	fig89cfg := func() experiment.Fig89Config {
+	fig89cfg := func(label string) experiment.Fig89Config {
 		cfg := experiment.DefaultFig89()
-		if quick {
+		if opt.quick {
 			cfg.GroupSizes, cfg.Seeds, cfg.SimTime = []int{8, 24, 40}, 3, 10
 		}
-		if seeds > 0 {
-			cfg.Seeds = seeds
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
 		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor(label)
 		return cfg
 	}
 	placementCfg := func() experiment.PlacementConfig {
 		cfg := experiment.DefaultPlacement()
-		if quick {
+		if opt.quick {
 			cfg.Seeds, cfg.Trials, cfg.Nodes = 2, 4, 50
 		}
-		if seeds > 0 {
-			cfg.Seeds = seeds
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
 		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor("placement")
 		return cfg
 	}
 	stateCfg := func() experiment.StateConfig {
 		cfg := experiment.DefaultState()
-		if quick {
+		if opt.quick {
 			cfg.Groups, cfg.Seeds, cfg.Nodes = []int{1, 4}, 2, 30
 		}
-		if seeds > 0 {
-			cfg.Seeds = seeds
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
 		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor("state")
 		return cfg
 	}
 	concentrationCfg := func() experiment.ConcentrationConfig {
 		cfg := experiment.DefaultConcentration()
-		if quick {
+		if opt.quick {
 			cfg.Seeds, cfg.Nodes, cfg.Rounds = 2, 30, 2
 		}
-		if seeds > 0 {
-			cfg.Seeds = seeds
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
 		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor("concentration")
 		return cfg
 	}
 
@@ -84,12 +118,13 @@ func dispatch(w io.Writer, name string, seeds int, quick bool, format string) er
 	}
 	runFig7x := func() error {
 		cfg := experiment.DefaultFig7x()
-		if quick {
+		if opt.quick {
 			cfg.Seeds, cfg.GroupSize = 2, 12
 		}
-		if seeds > 0 {
-			cfg.Seeds = seeds
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
 		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor("fig7x")
 		header("== Tree quality across topology families (DCDM kappa=%.1f, group %d) ==\n", cfg.Kappa, cfg.GroupSize)
 		points := experiment.RunFig7x(cfg)
 		if csv {
@@ -130,11 +165,11 @@ func dispatch(w io.Writer, name string, seeds int, quick bool, format string) er
 		return nil
 	}
 
-	switch name {
+	switch opt.experiment {
 	case "fig7":
 		return runFig7()
 	case "fig8":
-		cfg := fig89cfg()
+		cfg := fig89cfg("fig8")
 		header("== Fig. 8: data and protocol overhead (%d seeds, %.0f s runs) ==\n", cfg.Seeds, cfg.SimTime)
 		points := experiment.RunFig89(cfg)
 		if csv {
@@ -143,7 +178,7 @@ func dispatch(w io.Writer, name string, seeds int, quick bool, format string) er
 		experiment.WriteFig8(w, points)
 		return nil
 	case "fig9":
-		cfg := fig89cfg()
+		cfg := fig89cfg("fig9")
 		header("== Fig. 9: maximum end-to-end delay (%d seeds, %.0f s runs) ==\n", cfg.Seeds, cfg.SimTime)
 		points := experiment.RunFig89(cfg)
 		if csv {
@@ -163,7 +198,7 @@ func dispatch(w io.Writer, name string, seeds int, quick bool, format string) er
 		if err := runFig7(); err != nil {
 			return err
 		}
-		cfg := fig89cfg()
+		cfg := fig89cfg("fig8/9")
 		points := experiment.RunFig89(cfg)
 		if csv {
 			if err := experiment.WriteFig89CSV(w, points); err != nil {
@@ -190,6 +225,6 @@ func dispatch(w io.Writer, name string, seeds int, quick bool, format string) er
 		header("\n")
 		return runConcentration()
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration or all)", name)
+		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration or all)", opt.experiment)
 	}
 }

@@ -12,8 +12,9 @@
 //	scmpsim -experiment concentration  # §I core jam vs regional m-routers
 //
 // Use -quick for a fast smoke run, -seeds to override the averaging
-// width, -format csv for plot-ready records, and -out to write to a
-// file instead of stdout.
+// width, -parallel to bound the worker pool fanning (topology, seed)
+// shards out (results are byte-identical at any width), -format csv for
+// plot-ready records, and -out to write to a file instead of stdout.
 package main
 
 import (
@@ -35,6 +36,7 @@ func run(args []string, stdout io.Writer) error {
 	experimentName := fs.String("experiment", "all", "fig7 | fig7x | fig8 | fig9 | placement | state | concentration | all")
 	seeds := fs.Int("seeds", 0, "override the number of seeds (0 = paper default)")
 	quick := fs.Bool("quick", false, "shrink the sweep for a fast smoke run")
+	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = serial)")
 	outPath := fs.String("out", "", "write results to this file instead of stdout")
 	format := fs.String("format", "table", "table | csv")
 	if err := fs.Parse(args); err != nil {
@@ -49,5 +51,12 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	return dispatch(w, *experimentName, *seeds, *quick, *format)
+	return dispatch(w, options{
+		experiment: *experimentName,
+		seeds:      *seeds,
+		quick:      *quick,
+		parallel:   *parallel,
+		format:     *format,
+		progress:   os.Stderr,
+	})
 }

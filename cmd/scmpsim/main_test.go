@@ -8,10 +8,16 @@ import (
 	"testing"
 )
 
+// quickOpts builds a smoke-run options value; progress stays nil so
+// tests are silent.
+func quickOpts(exp string) options {
+	return options{experiment: exp, seeds: 1, quick: true, format: "table"}
+}
+
 func TestDispatchQuickEachExperiment(t *testing.T) {
 	for _, exp := range []string{"placement"} {
 		var buf bytes.Buffer
-		if err := dispatch(&buf, exp, 1, true, "table"); err != nil {
+		if err := dispatch(&buf, quickOpts(exp)); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if buf.Len() == 0 {
@@ -22,7 +28,7 @@ func TestDispatchQuickEachExperiment(t *testing.T) {
 
 func TestDispatchFig7Quick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := dispatch(&buf, "fig7", 1, true, "table"); err != nil {
+	if err := dispatch(&buf, quickOpts("fig7")); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,7 +41,7 @@ func TestDispatchFig7Quick(t *testing.T) {
 
 func TestDispatchFig8Quick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := dispatch(&buf, "fig8", 1, true, "table"); err != nil {
+	if err := dispatch(&buf, quickOpts("fig8")); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -48,7 +54,7 @@ func TestDispatchFig8Quick(t *testing.T) {
 
 func TestDispatchFig9Quick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := dispatch(&buf, "fig9", 1, true, "table"); err != nil {
+	if err := dispatch(&buf, quickOpts("fig9")); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Maximum end-to-end delay") {
@@ -56,8 +62,39 @@ func TestDispatchFig9Quick(t *testing.T) {
 	}
 }
 
+// TestDispatchParallelWidths: the -parallel knob must not change writer
+// output — a two-worker quick run is byte-identical to the serial one.
+func TestDispatchParallelWidths(t *testing.T) {
+	render := func(parallel int) []byte {
+		var buf bytes.Buffer
+		opt := quickOpts("fig9")
+		opt.parallel = parallel
+		if err := dispatch(&buf, opt); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if serial, par := render(1), render(2); !bytes.Equal(serial, par) {
+		t.Fatalf("dispatch output depends on -parallel:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}
+
+// TestDispatchProgressReporting: a progress sink receives shard
+// completions ending in a total/total line.
+func TestDispatchProgressReporting(t *testing.T) {
+	var out, prog bytes.Buffer
+	opt := quickOpts("placement")
+	opt.progress = &prog
+	if err := dispatch(&out, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "placement: 1/1 shards") {
+		t.Fatalf("progress output missing final shard count: %q", prog.String())
+	}
+}
+
 func TestDispatchUnknown(t *testing.T) {
-	if err := dispatch(&bytes.Buffer{}, "fig99", 0, true, "table"); err == nil {
+	if err := dispatch(&bytes.Buffer{}, options{experiment: "fig99", quick: true, format: "table"}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"scmp/internal/core"
 	"scmp/internal/netsim"
 	"scmp/internal/packet"
+	"scmp/internal/runner"
 	"scmp/internal/stats"
 	"scmp/internal/topology"
 )
@@ -28,6 +29,12 @@ type ConcentrationConfig struct {
 	Senders int // off-tree senders per group (their packets funnel into the center)
 	Rounds  int // each sender sends this many packets
 	Seeds   int
+	// Parallel bounds the worker goroutines fanning the per-seed shards
+	// out: 0 means GOMAXPROCS, 1 the pure serial path.
+	Parallel int
+	// Progress, when set, observes shard completions (called
+	// concurrently when Parallel > 1).
+	Progress func(done, total int)
 }
 
 // DefaultConcentration returns a 50-router configuration.
@@ -55,15 +62,17 @@ func RunConcentration(cfg ConcentrationConfig) []ConcentrationPoint {
 	for _, s := range concentrationSchemes {
 		points[s] = &ConcentrationPoint{Scheme: s, CenterLoad: &stats.Sample{}, MaxLink: &stats.Sample{}}
 	}
-	for seed := 0; seed < cfg.Seeds; seed++ {
-		g, err := topology.Random(topology.DefaultRandom(cfg.Nodes, cfg.Degree), rng.New(int64(seed)))
-		if err != nil {
-			panic(err)
-		}
-		g = g.ScaleDelays(1e-3)
+	type concObs struct {
+		scheme              string
+		centerLoad, maxLink float64
+	}
+	opts := runner.Options{Parallel: cfg.Parallel, Progress: cfg.Progress}
+	shards := runner.Map(opts, cfg.Seeds, func(seed int) []concObs {
 		// Centers: the best-placed node plus the next-best spread
-		// (deterministic: ranked by average delay).
-		centers := rankedCenters(g, 4)
+		// (deterministic: ranked by average delay), shared via the
+		// artifact cache.
+		art := randomArtifactFor(cfg.Nodes, cfg.Degree, int64(seed))
+		g, centers := art.g, art.centers
 		wl := rng.New(int64(seed) * 31337)
 		type plan struct{ members, senders []topology.NodeID }
 		plans := make([]plan, cfg.Groups)
@@ -89,6 +98,7 @@ func RunConcentration(cfg ConcentrationConfig) []ConcentrationPoint {
 			}
 			plans[i] = plan{members: members, senders: senders}
 		}
+		var obs []concObs
 		for _, scheme := range concentrationSchemes {
 			var proto netsim.Protocol
 			var watch []topology.NodeID
@@ -148,9 +158,15 @@ func RunConcentration(cfg ConcentrationConfig) []ConcentrationPoint {
 				}
 			}
 			_, maxLink := n.Metrics.MaxLinkLoad()
-			pt := points[scheme]
-			pt.CenterLoad.Add(float64(busiest))
-			pt.MaxLink.Add(float64(maxLink))
+			obs = append(obs, concObs{scheme, float64(busiest), float64(maxLink)})
+		}
+		return obs
+	})
+	for _, shard := range shards {
+		for _, o := range shard {
+			pt := points[o.scheme]
+			pt.CenterLoad.Add(o.centerLoad)
+			pt.MaxLink.Add(o.maxLink)
 		}
 	}
 	out := make([]ConcentrationPoint, 0, len(points))

@@ -7,13 +7,28 @@
 package experiment
 
 import (
+	"fmt"
+
 	"scmp/internal/rng"
 
 	"scmp/internal/topology"
 )
 
 // pickMembers draws k distinct member routers, never the excluded node.
+// It panics when fewer than k candidates exist: silently returning a
+// smaller set would quietly shrink group sizes in sweeps and skew every
+// averaged point, so callers must guard their sweep bounds (each Run*
+// skips or clamps sizes against the topology first).
 func pickMembers(rng *rng.Rand, n, k int, exclude topology.NodeID) []topology.NodeID {
+	avail := n
+	if exclude >= 0 && int(exclude) < n {
+		avail--
+	}
+	if k > avail {
+		panic(fmt.Sprintf(
+			"experiment: pickMembers: %d members requested but only %d candidates (n=%d, exclude=%d)",
+			k, avail, n, exclude))
+	}
 	perm := rng.Perm(n)
 	out := make([]topology.NodeID, 0, k)
 	for _, v := range perm {

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"scmp/internal/mtree"
+	"scmp/internal/runner"
 	"scmp/internal/stats"
 	"scmp/internal/topology"
 )
@@ -21,6 +22,13 @@ type Fig7Config struct {
 	Beta       float64 // paper: 0.2
 	GroupSizes []int   // paper: 10..90 step 10
 	Seeds      int     // paper: 10
+	// Parallel bounds the worker goroutines fanning the per-seed shards
+	// out: 0 means GOMAXPROCS, 1 the pure serial path. Results are
+	// byte-identical either way.
+	Parallel int
+	// Progress, when set, observes shard completions (called
+	// concurrently when Parallel > 1).
+	Progress func(done, total int)
 }
 
 // DefaultFig7 returns the paper's configuration.
@@ -53,8 +61,51 @@ type Fig7Point struct {
 	TreeCost  *stats.Sample
 }
 
+// fig7Obs is one shard observation: one algorithm's tree quality at one
+// (level, size) cell, emitted in deterministic shard order.
+type fig7Obs struct {
+	level, algo string
+	size        int
+	delay, cost float64
+}
+
+// runFig7Shard executes one seed's full sweep. The member stream is
+// derived from the seed independently of the (cached) topology build, so
+// a cache hit cannot shift later draws.
+func runFig7Shard(cfg Fig7Config, seed int) []fig7Obs {
+	wcfg := topology.WaxmanConfig{N: cfg.Nodes, Alpha: cfg.Alpha, Beta: cfg.Beta, GridSize: 32767, Connect: true}
+	art := waxmanArtifactFor(wcfg, int64(seed))
+	g, spDelay, spCost := art.g, art.spDelay, art.spCost
+	root := topology.NodeID(0)
+	memberRng := rng.New(int64(seed)*104729 + 1)
+	var out []fig7Obs
+	for _, size := range cfg.GroupSizes {
+		if size >= g.N() { // root is excluded, so at most N-1 members exist
+			continue
+		}
+		members := pickMembers(memberRng, g.N(), size, root)
+		// KMB and SPT are constraint-oblivious; compute once and
+		// record them under every level so each panel has all three
+		// series, like the paper's plots.
+		kmb := mtree.KMB(g, root, members, spCost)
+		spt := mtree.SPT(g, root, members, spDelay)
+		for _, lvl := range ConstraintLevels {
+			d := mtree.NewDCDM(g, root, lvl.Kappa, spDelay, spCost)
+			for _, m := range members {
+				d.Join(m)
+			}
+			out = append(out,
+				fig7Obs{lvl.Name, "DCDM", size, d.Tree().TreeDelay(), d.Tree().Cost()},
+				fig7Obs{lvl.Name, "KMB", size, kmb.TreeDelay(), kmb.Cost()},
+				fig7Obs{lvl.Name, "SPT", size, spt.TreeDelay(), spt.Cost()})
+		}
+	}
+	return out
+}
+
 // RunFig7 executes the sweep and returns every cell, ordered by level,
-// group size, algorithm.
+// group size, algorithm. Per-seed shards fan out over runner.Map and
+// merge in seed order, so the aggregate matches a serial run exactly.
 func RunFig7(cfg Fig7Config) []Fig7Point {
 	type key struct {
 		level, algo string
@@ -71,39 +122,15 @@ func RunFig7(cfg Fig7Config) []Fig7Point {
 		}
 		return p
 	}
-	for seed := 0; seed < cfg.Seeds; seed++ {
-		rng := rng.New(int64(seed))
-		wcfg := topology.WaxmanConfig{N: cfg.Nodes, Alpha: cfg.Alpha, Beta: cfg.Beta, GridSize: 32767, Connect: true}
-		wg, err := topology.Waxman(wcfg, rng)
-		if err != nil {
-			panic(err)
-		}
-		g := wg.Graph
-		root := topology.NodeID(0)
-		spDelay := topology.NewAllPairs(g, topology.ByDelay)
-		spCost := topology.NewAllPairs(g, topology.ByCost)
-		for _, size := range cfg.GroupSizes {
-			members := pickMembers(rng, g.N(), size, root)
-			// KMB and SPT are constraint-oblivious; compute once and
-			// record them under every level so each panel has all three
-			// series, like the paper's plots.
-			kmb := mtree.KMB(g, root, members, spCost)
-			spt := mtree.SPT(g, root, members, spDelay)
-			for _, lvl := range ConstraintLevels {
-				d := mtree.NewDCDM(g, root, lvl.Kappa, spDelay, spCost)
-				for _, m := range members {
-					d.Join(m)
-				}
-				dc := cell(lvl.Name, "DCDM", size)
-				dc.TreeDelay.Add(d.Tree().TreeDelay())
-				dc.TreeCost.Add(d.Tree().Cost())
-				kc := cell(lvl.Name, "KMB", size)
-				kc.TreeDelay.Add(kmb.TreeDelay())
-				kc.TreeCost.Add(kmb.Cost())
-				sc := cell(lvl.Name, "SPT", size)
-				sc.TreeDelay.Add(spt.TreeDelay())
-				sc.TreeCost.Add(spt.Cost())
-			}
+	opts := runner.Options{Parallel: cfg.Parallel, Progress: cfg.Progress}
+	shards := runner.Map(opts, cfg.Seeds, func(seed int) []fig7Obs {
+		return runFig7Shard(cfg, seed)
+	})
+	for _, shard := range shards {
+		for _, o := range shard {
+			c := cell(o.level, o.algo, o.size)
+			c.TreeDelay.Add(o.delay)
+			c.TreeCost.Add(o.cost)
 		}
 	}
 	out := make([]Fig7Point, 0, len(cells))
@@ -164,8 +191,18 @@ func WriteFig7(w io.Writer, points []Fig7Point) {
 			sort.Ints(sizes)
 			for _, s := range sizes {
 				row := bySize[s]
-				fmt.Fprintf(w, "%-10d %14.0f %14.0f %14.0f\n",
-					s, row["DCDM"].Mean(), row["KMB"].Mean(), row["SPT"].Mean())
+				fmt.Fprintf(w, "%-10d", s)
+				// A filtered or partial point slice may miss cells; print
+				// a placeholder instead of dereferencing nil, exactly
+				// like writeFig89Metric.
+				for _, algo := range []string{"DCDM", "KMB", "SPT"} {
+					if sm := row[algo]; sm != nil {
+						fmt.Fprintf(w, " %14.0f", sm.Mean())
+					} else {
+						fmt.Fprintf(w, " %14s", "-")
+					}
+				}
+				fmt.Fprintln(w)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"scmp/internal/mtree"
+	"scmp/internal/runner"
 	"scmp/internal/stats"
 	"scmp/internal/topology"
 )
@@ -21,6 +22,12 @@ type Fig7xConfig struct {
 	GroupSize int // members per run (clamped to the topology size)
 	Seeds     int
 	Kappa     float64 // DCDM constraint (default 1.5, the moderate level)
+	// Parallel bounds the worker goroutines fanning the (family, seed)
+	// shards out: 0 means GOMAXPROCS, 1 the pure serial path.
+	Parallel int
+	// Progress, when set, observes shard completions (called
+	// concurrently when Parallel > 1).
+	Progress func(done, total int)
 }
 
 // DefaultFig7x returns a moderate configuration.
@@ -93,36 +100,45 @@ func RunFig7x(cfg Fig7xConfig) []Fig7xPoint {
 		}
 		return p
 	}
-	for _, family := range Fig7xFamilies {
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			g := buildFamily(family, int64(seed))
-			size := cfg.GroupSize
-			if size >= g.N() {
-				size = g.N() - 2
-			}
-			wl := rng.New(int64(seed) * 977)
-			members := pickMembers(wl, g.N(), size, 0)
-			spDelay := topology.NewAllPairs(g, topology.ByDelay)
-			spCost := topology.NewAllPairs(g, topology.ByCost)
+	type fig7xObs struct {
+		algo        string
+		cost, delay float64 // relative to SPT on the same instance
+	}
+	opts := runner.Options{Parallel: cfg.Parallel, Progress: cfg.Progress}
+	shards := runner.Map(opts, len(Fig7xFamilies)*cfg.Seeds, func(j int) []fig7xObs {
+		family := Fig7xFamilies[j/cfg.Seeds]
+		seed := j % cfg.Seeds
+		art := familyArtifactFor(family, int64(seed))
+		g, spDelay, spCost := art.g, art.spDelay, art.spCost
+		size := cfg.GroupSize
+		if size >= g.N() {
+			size = g.N() - 2
+		}
+		wl := rng.New(int64(seed) * 977)
+		members := pickMembers(wl, g.N(), size, 0)
 
-			spt := mtree.SPT(g, 0, members, spDelay)
-			kmb := mtree.KMB(g, 0, members, spCost)
-			dcdm := mtree.NewDCDM(g, 0, cfg.Kappa, spDelay, spCost)
-			for _, m := range members {
-				dcdm.Join(m)
-			}
-			baseCost, baseDelay := spt.Cost(), spt.TreeDelay()
-			if baseCost <= 0 || baseDelay <= 0 {
-				continue
-			}
-			record := func(algo string, cost, delay float64) {
-				p := cell(family, algo)
-				p.CostVsSPT.Add(cost / baseCost)
-				p.DelayVsSPT.Add(delay / baseDelay)
-			}
-			record("DCDM", dcdm.Tree().Cost(), dcdm.Tree().TreeDelay())
-			record("KMB", kmb.Cost(), kmb.TreeDelay())
-			record("SPT", baseCost, baseDelay)
+		spt := mtree.SPT(g, 0, members, spDelay)
+		kmb := mtree.KMB(g, 0, members, spCost)
+		dcdm := mtree.NewDCDM(g, 0, cfg.Kappa, spDelay, spCost)
+		for _, m := range members {
+			dcdm.Join(m)
+		}
+		baseCost, baseDelay := spt.Cost(), spt.TreeDelay()
+		if baseCost <= 0 || baseDelay <= 0 {
+			return nil
+		}
+		return []fig7xObs{
+			{"DCDM", dcdm.Tree().Cost() / baseCost, dcdm.Tree().TreeDelay() / baseDelay},
+			{"KMB", kmb.Cost() / baseCost, kmb.TreeDelay() / baseDelay},
+			{"SPT", 1, 1},
+		}
+	})
+	for j, shard := range shards {
+		family := Fig7xFamilies[j/cfg.Seeds]
+		for _, o := range shard {
+			p := cell(family, o.algo)
+			p.CostVsSPT.Add(o.cost)
+			p.DelayVsSPT.Add(o.delay)
 		}
 	}
 	out := make([]Fig7xPoint, 0, len(points))

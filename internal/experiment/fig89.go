@@ -13,6 +13,7 @@ import (
 	"scmp/internal/protocols/cbt"
 	"scmp/internal/protocols/dvmrp"
 	"scmp/internal/protocols/mospf"
+	"scmp/internal/runner"
 	"scmp/internal/stats"
 	"scmp/internal/topology"
 )
@@ -31,6 +32,13 @@ type Fig89Config struct {
 	DataRate      float64  // paper: 1 packet/s
 	PruneLifetime des.Time // DVMRP prune timeout
 	Topologies    []string // defaults to Fig89Topologies()
+	// Parallel bounds the worker goroutines fanning the (topology, seed)
+	// shards out: 0 means GOMAXPROCS, 1 the pure serial path. Results
+	// are byte-identical either way (shards merge in canonical order).
+	Parallel int
+	// Progress, when set, observes shard completions (called
+	// concurrently when Parallel > 1).
+	Progress func(done, total int)
 }
 
 // DefaultFig89 returns the paper's configuration.
@@ -116,8 +124,7 @@ func runOne(g *topology.Graph, protoName string, cfg Fig89Config,
 		n.Sched.At(des.Time(float64(i)*0.01), func() { n.HostJoin(m, 1) })
 	}
 	var seqs []uint64
-	interval := 1.0 / cfg.DataRate
-	for t := 1.0; t <= cfg.SimTime; t += interval {
+	for _, t := range sendTimes(cfg.SimTime, cfg.DataRate) {
 		n.Sched.At(des.Time(t), func() {
 			seqs = append(seqs, n.SendData(source, 1, packet.DefaultDataSize))
 		})
@@ -133,9 +140,61 @@ func runOne(g *topology.Graph, protoName string, cfg Fig89Config,
 	return n.Metrics.DataOverhead(), n.Metrics.ProtocolOverhead(), n.Metrics.MaxEndToEndDelay(), undelivered
 }
 
-// RunFig89 executes the full sweep. The same member sets, sources and
-// centers are reused across protocols within a (topology, size, seed)
-// triple so the comparison is paired, like the paper's.
+// sendTimes returns the data-phase send schedule: one packet every
+// 1/rate seconds starting at t=1, while inside the run. Each time is
+// computed as 1 + i*interval from an integer counter — the accumulating
+// `t += interval` loop it replaces drifted by a few ULPs per step at
+// non-integer intervals (e.g. rate 3), dropping or duplicating the final
+// packet depending on drift direction.
+func sendTimes(simTime, rate float64) []float64 {
+	interval := 1.0 / rate
+	var ts []float64
+	for i := 0; ; i++ {
+		t := 1.0 + float64(i)*interval
+		if t > simTime {
+			return ts
+		}
+		ts = append(ts, t)
+	}
+}
+
+// fig89Obs is one shard observation: a single protocol run's metrics.
+// The shard's size guard and protocol loop emit them in deterministic
+// order, so the index-ordered merge reproduces the serial Add sequence.
+type fig89Obs struct {
+	size                  int
+	proto                 string
+	data, protoOv, maxE2E float64
+	undelivered           int
+}
+
+// runFig89Shard executes every (size, protocol) run of one (topology,
+// seed) shard. Shards are independent: each derives its own rng streams
+// from the seed and shares only the immutable cached artifacts.
+func runFig89Shard(cfg Fig89Config, topo string, seed int) []fig89Obs {
+	art := fig89ArtifactFor(topo, int64(seed))
+	rnd := rng.New(int64(seed) * 7919)
+	var out []fig89Obs
+	for _, size := range cfg.GroupSizes {
+		if size >= art.g.N() {
+			continue
+		}
+		members := pickMembers(rnd, art.g.N(), size, -1)
+		source := topology.NodeID(rnd.Intn(art.g.N()))
+		for _, protoName := range Protocols {
+			data, proto, maxE2E, undelivered := runOne(art.g, protoName, cfg, members, source, art.center)
+			out = append(out, fig89Obs{size, protoName, data, proto, maxE2E, undelivered})
+		}
+	}
+	return out
+}
+
+// RunFig89 executes the full sweep, fanning the (topology, seed) shards
+// over runner.Map. The same member sets, sources and centers are reused
+// across protocols within a (topology, size, seed) triple so the
+// comparison is paired, like the paper's; shard results merge in
+// topology-major, seed-minor order, so the aggregate is byte-identical
+// to a serial run.
 func RunFig89(cfg Fig89Config) []Fig89Point {
 	if cfg.Topologies == nil {
 		cfg.Topologies = Fig89Topologies()
@@ -155,26 +214,18 @@ func RunFig89(cfg Fig89Config) []Fig89Point {
 		}
 		return p
 	}
-	for _, topo := range cfg.Topologies {
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			g := BuildTopology(topo, int64(seed))
-			center := Center(g)
-			rng := rng.New(int64(seed) * 7919)
-			for _, size := range cfg.GroupSizes {
-				if size >= g.N() {
-					continue
-				}
-				members := pickMembers(rng, g.N(), size, -1)
-				source := topology.NodeID(rng.Intn(g.N()))
-				for _, protoName := range Protocols {
-					data, proto, maxE2E, undelivered := runOne(g, protoName, cfg, members, source, center)
-					c := cell(topo, protoName, size)
-					c.DataOverhead.Add(data)
-					c.ProtoOverhead.Add(proto)
-					c.MaxE2E.Add(maxE2E)
-					c.Undelivered += undelivered
-				}
-			}
+	opts := runner.Options{Parallel: cfg.Parallel, Progress: cfg.Progress}
+	shards := runner.Map(opts, len(cfg.Topologies)*cfg.Seeds, func(j int) []fig89Obs {
+		return runFig89Shard(cfg, cfg.Topologies[j/cfg.Seeds], j%cfg.Seeds)
+	})
+	for j, shard := range shards {
+		topo := cfg.Topologies[j/cfg.Seeds]
+		for _, o := range shard {
+			c := cell(topo, o.proto, o.size)
+			c.DataOverhead.Add(o.data)
+			c.ProtoOverhead.Add(o.protoOv)
+			c.MaxE2E.Add(o.maxE2E)
+			c.Undelivered += o.undelivered
 		}
 	}
 	out := make([]Fig89Point, 0, len(cells))

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"scmp/internal/mtree"
+	"scmp/internal/runner"
 	"scmp/internal/stats"
 	"scmp/internal/topology"
 )
@@ -27,6 +28,12 @@ type PlacementConfig struct {
 	Seeds     int     // topologies
 	Trials    int     // member sets per topology
 	Kappa     float64 // DCDM constraint (default 1.5)
+	// Parallel bounds the worker goroutines fanning the per-seed shards
+	// out: 0 means GOMAXPROCS, 1 the pure serial path.
+	Parallel int
+	// Progress, when set, observes shard completions (called
+	// concurrently when Parallel > 1).
+	Progress func(done, total int)
 }
 
 // DefaultPlacement returns a paper-scale configuration.
@@ -79,21 +86,25 @@ func RunPlacement(cfg PlacementConfig) []PlacementPoint {
 	for _, rule := range PlacementRules {
 		points[rule] = &PlacementPoint{Rule: rule, TreeCost: &stats.Sample{}, TreeDelay: &stats.Sample{}}
 	}
-	for seed := 0; seed < cfg.Seeds; seed++ {
-		rng := rng.New(int64(seed))
-		wg, err := topology.Waxman(topology.DefaultWaxman(cfg.Nodes), rng)
-		if err != nil {
-			panic(err)
-		}
-		g := wg.Graph
-		spDelay := topology.NewAllPairs(g, topology.ByDelay)
-		spCost := topology.NewAllPairs(g, topology.ByCost)
+	type placementObs struct {
+		rule        string
+		cost, delay float64
+	}
+	opts := runner.Options{Parallel: cfg.Parallel, Progress: cfg.Progress}
+	shards := runner.Map(opts, cfg.Seeds, func(seed int) []placementObs {
+		// The workload stream (random placement + member sets) is
+		// derived from the seed independently of the cached topology
+		// build, so a cache hit cannot shift later draws.
+		art := waxmanArtifactFor(topology.DefaultWaxman(cfg.Nodes), int64(seed))
+		g, spDelay, spCost := art.g, art.spDelay, art.spCost
+		wl := rng.New(int64(seed)*6151 + 2)
 		roots := make(map[string]topology.NodeID)
 		for _, rule := range PlacementRules {
-			roots[rule] = Place(rule, g, rng)
+			roots[rule] = Place(rule, g, wl)
 		}
+		var out []placementObs
 		for trial := 0; trial < cfg.Trials; trial++ {
-			members := pickMembers(rng, g.N(), cfg.GroupSize, -1)
+			members := pickMembers(wl, g.N(), cfg.GroupSize, -1)
 			for _, rule := range PlacementRules {
 				root := roots[rule]
 				d := mtree.NewDCDM(g, root, cfg.Kappa, spDelay, spCost)
@@ -103,9 +114,15 @@ func RunPlacement(cfg PlacementConfig) []PlacementPoint {
 					}
 					d.Join(m)
 				}
-				points[rule].TreeCost.Add(d.Tree().Cost())
-				points[rule].TreeDelay.Add(d.Tree().TreeDelay())
+				out = append(out, placementObs{rule, d.Tree().Cost(), d.Tree().TreeDelay()})
 			}
+		}
+		return out
+	})
+	for _, shard := range shards {
+		for _, o := range shard {
+			points[o.rule].TreeCost.Add(o.cost)
+			points[o.rule].TreeDelay.Add(o.delay)
 		}
 	}
 	out := make([]PlacementPoint, 0, len(points))

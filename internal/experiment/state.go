@@ -8,6 +8,7 @@ import (
 
 	"scmp/internal/netsim"
 	"scmp/internal/packet"
+	"scmp/internal/runner"
 	"scmp/internal/stats"
 	"scmp/internal/topology"
 )
@@ -26,6 +27,12 @@ type StateConfig struct {
 	Senders    int   // distinct senders per group
 	PacketsPer int   // packets each sender sends (instantiates state)
 	Seeds      int
+	// Parallel bounds the worker goroutines fanning the per-seed shards
+	// out: 0 means GOMAXPROCS, 1 the pure serial path.
+	Parallel int
+	// Progress, when set, observes shard completions (called
+	// concurrently when Parallel > 1).
+	Progress func(done, total int)
 }
 
 // DefaultState returns a 50-router configuration.
@@ -68,13 +75,16 @@ func RunState(cfg StateConfig) []StatePoint {
 		}
 		return p
 	}
-	for seed := 0; seed < cfg.Seeds; seed++ {
-		g, err := topology.Random(topology.DefaultRandom(cfg.Nodes, cfg.Degree), rng.New(int64(seed)))
-		if err != nil {
-			panic(err)
-		}
-		g = g.ScaleDelays(1e-3)
-		center := Center(g)
+	type stateObs struct {
+		groups        int
+		proto         string
+		maxState, sum float64
+	}
+	opts := runner.Options{Parallel: cfg.Parallel, Progress: cfg.Progress}
+	shards := runner.Map(opts, cfg.Seeds, func(seed int) []stateObs {
+		art := randomArtifactFor(cfg.Nodes, cfg.Degree, int64(seed))
+		g, center := art.g, art.centers[0]
+		var obs []stateObs
 		for _, groups := range cfg.Groups {
 			// One shared workload per (seed, groups): per group, a
 			// member set and a sender set.
@@ -115,10 +125,16 @@ func RunState(cfg StateConfig) []StatePoint {
 						maxState = st
 					}
 				}
-				c := cell(groups, protoName)
-				c.MaxState.Add(float64(maxState))
-				c.SumState.Add(float64(sum))
+				obs = append(obs, stateObs{groups, protoName, float64(maxState), float64(sum)})
 			}
+		}
+		return obs
+	})
+	for _, shard := range shards {
+		for _, o := range shard {
+			c := cell(o.groups, o.proto)
+			c.MaxState.Add(o.maxState)
+			c.SumState.Add(o.sum)
 		}
 	}
 	out := make([]StatePoint, 0, len(cells))
