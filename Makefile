@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-invariants bench bench-quick smoke-parallel fmt
+.PHONY: all build lint test test-invariants bench bench-quick smoke-parallel smoke-faults fmt
 
 all: lint test
 
@@ -38,3 +38,8 @@ bench-quick:
 # quick Fig. 7 sweep fanned over 4 workers.
 smoke-parallel:
 	$(GO) run -race ./cmd/scmpsim -experiment fig7 -quick -parallel 4 -out /dev/null
+
+# Chaos smoke: the fault-injection sweep (loss + link cuts + repair)
+# in quick mode, race detector on and runtime invariants armed.
+smoke-faults:
+	$(GO) run -race -tags invariants ./cmd/scmpsim -experiment faults -quick -parallel 4 -out /dev/null

@@ -105,6 +105,18 @@ func dispatch(w io.Writer, opt options) error {
 		return cfg
 	}
 
+	faultsCfg := func() experiment.FaultsConfig {
+		cfg := experiment.DefaultFaults()
+		if opt.quick {
+			cfg.LossRates, cfg.Seeds, cfg.SimTime, cfg.GroupSize = []float64{0, 0.05}, 3, 10, 8
+		}
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
+		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor("faults")
+		return cfg
+	}
+
 	runFig7 := func() error {
 		cfg := fig7cfg()
 		header("== Fig. 7: multicast tree quality (Waxman n=%d, alpha=%.2f, beta=%.2f, %d seeds) ==\n",
@@ -165,6 +177,18 @@ func dispatch(w io.Writer, opt options) error {
 		return nil
 	}
 
+	runFaults := func() error {
+		cfg := faultsCfg()
+		header("== Chaos sweep: loss and link failures under the reliability stack (%d seeds, %.0f s runs) ==\n",
+			cfg.Seeds, cfg.SimTime)
+		res := experiment.RunFaults(cfg)
+		if csv {
+			return experiment.WriteFaultsCSV(w, res)
+		}
+		experiment.WriteFaults(w, res)
+		return nil
+	}
+
 	switch opt.experiment {
 	case "fig7":
 		return runFig7()
@@ -194,6 +218,10 @@ func dispatch(w io.Writer, opt options) error {
 		return runState()
 	case "concentration":
 		return runConcentration()
+	case "faults":
+		// Deliberately not part of "all": the chaos sweep measures the
+		// robustness stack, not the paper's figures.
+		return runFaults()
 	case "all":
 		if err := runFig7(); err != nil {
 			return err
@@ -225,6 +253,6 @@ func dispatch(w io.Writer, opt options) error {
 		header("\n")
 		return runConcentration()
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration or all)", opt.experiment)
+		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration, faults or all)", opt.experiment)
 	}
 }

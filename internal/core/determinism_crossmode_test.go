@@ -52,6 +52,30 @@ func TestFig89ParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestFaultsParallelMatchesSerial proves the chaos sweep's fault
+// schedules, loss draws and repair runs shard deterministically: the
+// parallel fan-out must render byte-identical output to the serial
+// path.
+func TestFaultsParallelMatchesSerial(t *testing.T) {
+	render := func(parallel int) []byte {
+		cfg := experiment.FaultsConfig{
+			Topologies: []string{experiment.TopoArpanet, experiment.TopoRand3},
+			LossRates:  []float64{0, 0.05},
+			GroupSize:  8, Seeds: 3, SimTime: 10, DataRate: 1,
+			Parallel: parallel,
+		}
+		var buf bytes.Buffer
+		if err := experiment.WriteFaultsCSV(&buf, experiment.RunFaults(cfg)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, par := render(1), render(4)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("faults output diverges between -parallel 1 and -parallel 4:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}
+
 // TestOtherExperimentsParallelMatchSerial sweeps the remaining harnesses
 // with small configs: CSV output (means and Student-t confidence
 // half-widths per cell) must be identical across modes.

@@ -1,0 +1,405 @@
+// Self-healing extensions to SCMP: reliable control signalling
+// (ACK/retransmit with exponential backoff), periodic soft-state tree
+// refresh, and local repair after link or router failures (REJOIN).
+//
+// All three are off by default (Config.AckTimeout / RefreshInterval
+// zero; repair only reacts when a fault layer is installed), so the
+// paper-faithful fault-free protocol of scmp.go is byte-identical with
+// this file present. The fault model they defend against lives in
+// internal/netsim (FaultPlan).
+package core
+
+import (
+	"sort"
+
+	"scmp/internal/des"
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// defaultRetryCap bounds reliable-request retransmissions when the
+// configuration leaves RetryCap zero.
+const defaultRetryCap = 5
+
+// pendingKey identifies one reliable request slot: a router has at most
+// one outstanding request per group (a newer request supersedes).
+type pendingKey struct {
+	node topology.NodeID
+	g    packet.GroupID
+}
+
+// pendingReq is one unacknowledged reliable request.
+type pendingReq struct {
+	kind    packet.Kind
+	payload []byte
+	seq     uint64
+	attempt int
+	timer   *des.Event
+}
+
+var _ netsim.FaultListener = (*SCMP)(nil)
+
+// --- reliable control signalling ---------------------------------------
+
+// sendReliable sends a control request from node to the group's
+// m-router. With AckTimeout configured it registers the request for
+// ACK-matching and retransmits with exponential backoff until
+// acknowledged or the retry cap is reached; otherwise it degrades to
+// the classic fire-and-forget unicast.
+func (s *SCMP) sendReliable(node topology.NodeID, g packet.GroupID, kind packet.Kind, payload []byte) {
+	if s.cfg.AckTimeout <= 0 {
+		s.net.SendUnicast(node, &netsim.Packet{
+			Kind:    kind,
+			Group:   g,
+			Src:     node,
+			Dst:     s.home(g),
+			Payload: payload,
+			Size:    packet.ControlSize,
+		})
+		return
+	}
+	key := pendingKey{node, g}
+	if old := s.pending[key]; old != nil && old.timer != nil {
+		old.timer.Cancel()
+	}
+	s.reqSeq++
+	p := &pendingReq{kind: kind, payload: payload, seq: s.reqSeq}
+	s.pending[key] = p
+	s.transmitReq(key, p)
+	s.armRetry(key, p)
+}
+
+// transmitReq puts one (re)transmission of a reliable request on the
+// wire. The request's sequence number rides the packet's Seq field so
+// the m-router can echo it in the ACK.
+func (s *SCMP) transmitReq(key pendingKey, p *pendingReq) {
+	s.net.SendUnicast(key.node, &netsim.Packet{
+		Kind:    p.kind,
+		Group:   key.g,
+		Src:     key.node,
+		Dst:     s.home(key.g),
+		Seq:     p.seq,
+		Payload: p.payload,
+		Size:    packet.ControlSize,
+	})
+}
+
+// armRetry schedules the retransmission timer for attempt p.attempt:
+// AckTimeout doubled per attempt already made.
+func (s *SCMP) armRetry(key pendingKey, p *pendingReq) {
+	backoff := des.Time(s.cfg.AckTimeout * float64(uint64(1)<<uint(p.attempt)))
+	p.timer = s.net.Sched.After(backoff, func() {
+		if s.pending[key] != p {
+			return // acknowledged or superseded since
+		}
+		cap := s.cfg.RetryCap
+		if cap < 1 {
+			cap = defaultRetryCap
+		}
+		if p.attempt >= cap {
+			// Give up: the soft-state refresh (and ground-truth
+			// re-reports after a restart) are the backstop.
+			delete(s.pending, key)
+			return
+		}
+		p.attempt++
+		s.transmitReq(key, p)
+		s.armRetry(key, p)
+	})
+}
+
+// ack is the m-router's acknowledgement of a reliable request. Requests
+// without a sequence number (fire-and-forget mode) and the m-router's
+// own local joins are not acknowledged.
+func (s *SCMP) ack(g packet.GroupID, req packet.Kind, to topology.NodeID, seq uint64) {
+	if seq == 0 || to == s.home(g) {
+		return
+	}
+	payload := packet.EncodeAck(packet.AckInfo{Req: req, Seq: seq})
+	s.net.SendUnicast(s.home(g), &netsim.Packet{
+		Kind:    packet.Ack,
+		Group:   g,
+		Src:     s.home(g),
+		Dst:     to,
+		Payload: payload,
+		Size:    packet.ControlSize,
+	})
+}
+
+// handleAck matches an ACK against the node's pending request and, on a
+// match, cancels the retransmission timer.
+func (s *SCMP) handleAck(node topology.NodeID, pkt *netsim.Packet) {
+	a, err := packet.DecodeAck(pkt.Payload)
+	if err != nil {
+		return
+	}
+	key := pendingKey{node, pkt.Group}
+	p := s.pending[key]
+	if p == nil || p.seq != a.Seq || p.kind != a.Req {
+		return // stale ACK for a superseded request
+	}
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	delete(s.pending, key)
+}
+
+// --- soft-state tree refresh -------------------------------------------
+
+// armRefresh starts the group's periodic redistribution timer if
+// refresh is enabled and the timer is not already running.
+func (s *SCMP) armRefresh(g packet.GroupID, gs *groupState) {
+	if s.cfg.RefreshInterval <= 0 || gs.refresh != nil {
+		return
+	}
+	gs.refresh = s.net.Sched.After(des.Time(s.cfg.RefreshInterval), func() {
+		gs.refresh = nil
+		s.refreshGroup(g, gs)
+	})
+}
+
+// refreshGroup is one soft-state tick: retry deferred grafts, bump the
+// version, redistribute the whole TREE (idempotent at in-sync routers,
+// corrective at diverged ones), and re-arm. A group whose tree has
+// emptied and owes no deferred grafts lets its timer die — the next
+// membership change re-arms it — so Network.Run can drain.
+func (s *SCMP) refreshGroup(g packet.GroupID, gs *groupState) {
+	tree := gs.dcdm.Tree()
+	if len(tree.Members()) == 0 && tree.Size() == 1 && len(gs.deferred) == 0 {
+		return
+	}
+	if s.regraftDeferred(g, gs) {
+		s.syncMRouterEntry(g, gs)
+	}
+	gs.version++
+	s.distributeTree(g, gs)
+	s.armRefresh(g, gs)
+}
+
+// Quiesce cancels SCMP's self-sustaining timers — armed refresh ticks
+// and in-flight retransmission backoffs — so a harness can RunUntil its
+// measurement deadline, Quiesce, then Run to drain cleanly. The next
+// membership or tree change re-arms refresh.
+func (s *SCMP) Quiesce() {
+	for _, g := range s.sortedGroupIDs() {
+		gs := s.groups[g]
+		if gs.refresh != nil {
+			gs.refresh.Cancel()
+			gs.refresh = nil
+		}
+	}
+	for key, p := range s.pending {
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+		delete(s.pending, key)
+	}
+}
+
+// --- fault reaction (netsim.FaultListener) ------------------------------
+
+// LinkDown reacts to a link failure: refresh the path tables against
+// the masked topology, then run local repair at both endpoints.
+func (s *SCMP) LinkDown(u, v topology.NodeID) {
+	if s.cfg.DisableRepair {
+		return
+	}
+	s.refreshPathTables()
+	s.repairEndpoint(u, v)
+	s.repairEndpoint(v, u)
+}
+
+// LinkUp reacts to a link heal: with paths restored, retry every
+// deferred graft.
+func (s *SCMP) LinkUp(u, v topology.NodeID) {
+	if s.cfg.DisableRepair {
+		return
+	}
+	s.refreshPathTables()
+	s.healGroups()
+}
+
+// NodeDown reacts to a router crash: the router's protocol state and
+// pending requests die with it unconditionally; with repair enabled its
+// neighbours additionally treat every adjacent link as failed.
+func (s *SCMP) NodeDown(n topology.NodeID) {
+	delete(s.entries, n)
+	for key, p := range s.pending {
+		if key.node == n {
+			if p.timer != nil {
+				p.timer.Cancel()
+			}
+			delete(s.pending, key)
+		}
+	}
+	if s.cfg.DisableRepair {
+		return
+	}
+	s.refreshPathTables()
+	for _, l := range s.net.G.Neighbors(n) {
+		s.repairEndpoint(l.To, n)
+	}
+}
+
+// NodeUp reacts to a router restart: recompute paths and retry deferred
+// grafts. The restarted router itself re-learns its memberships from
+// the ground-truth re-report netsim issues right after this callback.
+func (s *SCMP) NodeUp(n topology.NodeID) {
+	if s.cfg.DisableRepair {
+		return
+	}
+	s.refreshPathTables()
+	s.healGroups()
+}
+
+// repairEndpoint is local repair at node after its link toward dead
+// failed: the branch toward dead is dropped from the downstream set
+// (that subtree re-homes itself from its own side), and if dead was the
+// upstream, node becomes an orphan — it keeps forwarding to its intact
+// downstream but asks the m-router for a re-graft with a reliable
+// REJOIN naming itself and the dead neighbour.
+func (s *SCMP) repairEndpoint(node, dead topology.NodeID) {
+	if f := s.net.Faults(); f != nil && f.NodeIsDown(node) {
+		return // a crashed router repairs nothing
+	}
+	byGroup := s.entries[node]
+	for _, g := range sortedGroupsOf(byGroup) {
+		e := byGroup[g]
+		if !e.onTree {
+			continue
+		}
+		delete(e.downstream, dead)
+		if e.upstream != dead {
+			continue
+		}
+		e.upstream = noUpstream
+		if !e.repairing {
+			e.repairing = true
+			e.repairT0 = s.net.Now()
+		}
+		s.sendReliable(node, g, packet.Rejoin,
+			packet.EncodeRejoin(packet.RejoinInfo{Detached: node, Dead: dead}))
+	}
+}
+
+// mrouterRejoin processes a REJOIN at the m-router: prune the detached
+// subtree from the group's tree copy, re-graft the stranded members
+// over the healthy topology, and redistribute. Members with no path to
+// the m-router are deferred for the refresh tick / next heal. If the
+// requesting router ended up off the re-grafted tree (an orphaned
+// relay), a directed FLUSH dismantles its stale subtree state.
+func (s *SCMP) mrouterRejoin(g packet.GroupID, info packet.RejoinInfo) {
+	gs := s.groups[g]
+	if gs == nil {
+		return
+	}
+	home := s.home(g)
+	tree := gs.dcdm.Tree()
+	// A dead router takes its whole subtree down; a dead link only the
+	// requester's side. The m-router has the complete topology (§II-A),
+	// so it can tell which case this is.
+	detachAt := info.Detached
+	if f := s.net.Faults(); f != nil && f.NodeIsDown(info.Dead) && info.Dead != home {
+		detachAt = info.Dead
+	}
+	if detachAt != home && tree.OnTree(detachAt) {
+		for _, m := range gs.dcdm.DetachSubtree(detachAt) {
+			gs.deferMember(m)
+		}
+	}
+	s.regraftDeferred(g, gs)
+	s.syncMRouterEntry(g, gs)
+	gs.version++
+	s.distributeTree(g, gs)
+	if !tree.OnTree(info.Detached) {
+		s.net.SendUnicast(home, &netsim.Packet{
+			Kind:    packet.Flush,
+			Group:   g,
+			Src:     home,
+			Dst:     info.Detached,
+			Version: gs.version,
+			Size:    packet.ControlSize,
+		})
+	}
+	s.armRefresh(g, gs)
+}
+
+// regraftDeferred grafts every deferred member that is reachable again,
+// reporting whether the tree changed. Distribution is the caller's job.
+func (s *SCMP) regraftDeferred(g packet.GroupID, gs *groupState) bool {
+	if len(gs.deferred) == 0 {
+		return false
+	}
+	home := s.home(g)
+	changed := false
+	for _, m := range topology.SortedNodes(gs.deferred) {
+		if !s.spDelay[home].Reachable(m) {
+			continue
+		}
+		delete(gs.deferred, m)
+		gs.dcdm.Join(m)
+		changed = true
+	}
+	return changed
+}
+
+// healGroups retries deferred grafts for every group after a topology
+// heal and redistributes the trees that changed.
+func (s *SCMP) healGroups() {
+	for _, g := range s.sortedGroupIDs() {
+		gs := s.groups[g]
+		if s.regraftDeferred(g, gs) {
+			s.syncMRouterEntry(g, gs)
+			gs.version++
+			s.distributeTree(g, gs)
+			s.armRefresh(g, gs)
+		}
+	}
+}
+
+// refreshPathTables recomputes the m-router's all-pairs tables with the
+// currently faulted links masked out, so re-grafts route around them.
+func (s *SCMP) refreshPathTables() {
+	f := s.net.Faults()
+	if f == nil {
+		return
+	}
+	s.spDelay = topology.NewAllPairsAvoid(s.net.G, topology.ByDelay, f.Avoid())
+	s.spCost = topology.NewAllPairsAvoid(s.net.G, topology.ByCost, f.Avoid())
+	for _, g := range s.sortedGroupIDs() {
+		s.groups[g].dcdm.SetAllPairs(s.spDelay, s.spCost)
+	}
+}
+
+// recordRecovery closes a router's repair episode when it adopts a new
+// upstream, feeding the recovery-time metric.
+func (s *SCMP) recordRecovery(e *entry) {
+	if !e.repairing {
+		return
+	}
+	e.repairing = false
+	s.net.Metrics.OnRecovery(float64(s.net.Now() - e.repairT0))
+}
+
+// sortedGroupIDs returns the keys of s.groups in ascending order, for
+// deterministic iteration wherever group processing sends packets.
+func (s *SCMP) sortedGroupIDs() []packet.GroupID {
+	out := make([]packet.GroupID, 0, len(s.groups))
+	for g := range s.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedGroupsOf returns the group ids of one router's entry map in
+// ascending order.
+func sortedGroupsOf(m map[packet.GroupID]*entry) []packet.GroupID {
+	out := make([]packet.GroupID, 0, len(m))
+	for g := range m {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -37,6 +37,11 @@ type entry struct {
 	hasLocal     bool // >=1 member interface on the local subnet
 	pendingLocal bool // IGMP report seen, tree installation still in flight
 	version      uint64
+	// repairing is set when this router's upstream tree link died and a
+	// REJOIN is in flight; repairT0 timestamps the failure so the
+	// recovery time can be recorded when a new upstream is adopted.
+	repairing bool
+	repairT0  des.Time
 }
 
 func newEntry() *entry {
@@ -50,6 +55,20 @@ type groupState struct {
 	dcdm    *mtree.DCDM
 	version uint64
 	session session.SessionID
+	// refresh is the armed soft-state redistribution timer (nil when
+	// idle or refresh is disabled).
+	refresh *des.Event
+	// deferred holds members the m-router could not graft because the
+	// faulted topology has no path to them; they are retried on every
+	// refresh tick and topology heal.
+	deferred map[topology.NodeID]bool
+}
+
+func (gs *groupState) deferMember(m topology.NodeID) {
+	if gs.deferred == nil {
+		gs.deferred = make(map[topology.NodeID]bool)
+	}
+	gs.deferred[m] = true
 }
 
 // Config parameterises an SCMP domain.
@@ -85,6 +104,27 @@ type Config struct {
 	// assignment every router's configuration file carries. Standby
 	// failover is only supported in single-m-router mode.
 	MRouters []topology.NodeID
+	// AckTimeout, when positive, makes JOIN/LEAVE/REJOIN reliable: the
+	// m-router acknowledges each request with an ACK echoing its
+	// sequence number, and the sender retransmits unacknowledged
+	// requests with exponential backoff (AckTimeout, 2x, 4x, ...). Zero
+	// — the default — keeps the original fire-and-forget signalling, so
+	// every fault-free run is unchanged.
+	AckTimeout float64
+	// RetryCap bounds the retransmissions per reliable request; values
+	// below 1 mean the default of 5. Only meaningful with AckTimeout.
+	RetryCap int
+	// RefreshInterval, when positive, makes the m-router periodically
+	// redistribute each active group's TREE packet (soft-state refresh):
+	// any router whose entry diverged — lost installation, missed flush
+	// — reconverges within one interval. Idempotent for routers already
+	// in sync. Zero disables refresh.
+	RefreshInterval float64
+	// DisableRepair turns off the fault-driven local repair reaction
+	// (REJOIN on upstream loss, deferred re-grafts, path-table refresh);
+	// the chaos experiment's ablation arm. Faults still drop packets and
+	// kill links — the protocol just no longer reacts.
+	DisableRepair bool
 	// Standby optionally names a secondary m-router (§V: "a hot standby
 	// system, in which there is a secondary m-router concurrently
 	// running with the primary"). The primary replicates membership
@@ -112,6 +152,11 @@ type SCMP struct {
 	// high 32 bits so entries installed before a failover are never
 	// trusted as a source's on-tree fast path afterwards.
 	epoch uint64
+	// pending tracks unacknowledged reliable control requests by
+	// (requester, group); reqSeq numbers them so a late ACK for a
+	// superseded request is ignored.
+	pending map[pendingKey]*pendingReq
+	reqSeq  uint64
 }
 
 var _ netsim.Protocol = (*SCMP)(nil)
@@ -151,6 +196,7 @@ func New(cfg Config) *SCMP {
 		groups:  make(map[packet.GroupID]*groupState),
 		entries: make(map[topology.NodeID]map[packet.GroupID]*entry),
 		replica: make(map[packet.GroupID]map[topology.NodeID]bool),
+		pending: make(map[pendingKey]*pendingReq),
 	}
 }
 
@@ -307,14 +353,14 @@ func (s *SCMP) HostJoin(node topology.NodeID, g packet.GroupID) {
 		// first local interface.
 		if !e.hasLocal {
 			e.hasLocal = true
-			s.sendControl(node, g, packet.Join, node)
+			s.sendReliable(node, g, packet.Join, nil)
 		}
 		return
 	}
 	// Off tree: remember the interface for when the TREE/BRANCH packet
 	// arrives, and ask the m-router to extend the tree.
 	e.pendingLocal = true
-	s.sendControl(node, g, packet.Join, node)
+	s.sendReliable(node, g, packet.Join, nil)
 }
 
 // HostLeave implements the member leaving procedure at the DR.
@@ -331,13 +377,15 @@ func (s *SCMP) HostLeave(node topology.NodeID, g packet.GroupID) {
 	}
 	// Always tell the m-router (accounting); additionally prune when the
 	// DR became a leaf.
-	s.sendControl(node, g, packet.Leave, node)
+	s.sendReliable(node, g, packet.Leave, nil)
 	if e.onTree && len(e.downstream) == 0 {
 		s.sendPrune(node, g, e)
 	}
 }
 
-// sendControl unicasts a small control packet from node to the m-router.
+// sendControl unicasts a small control packet from node to the m-router
+// (the fire-and-forget path; sendReliable wraps it with ACK/retry when
+// AckTimeout is configured).
 func (s *SCMP) sendControl(node topology.NodeID, g packet.GroupID, kind packet.Kind, about topology.NodeID) {
 	s.net.SendUnicast(node, &netsim.Packet{
 		Kind:  kind,
@@ -371,6 +419,7 @@ func (s *SCMP) sendPrune(node topology.NodeID, g packet.GroupID, e *entry) {
 // replicates it to the standby, and distributes the tree change.
 func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
 	gs := s.group(g)
+	defer s.armRefresh(g, gs)
 	s.acct.Adopt(g, fmt.Sprintf("group-%d", g))
 	if gs.session == 0 {
 		if id, err := s.acct.StartSession(g, 0, nil); err == nil {
@@ -379,6 +428,14 @@ func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
 	}
 	_ = s.acct.MemberJoined(g, member)
 	s.replicate(g, member, true)
+	delete(gs.deferred, member)
+	if member != s.home(g) && !s.spDelay[s.home(g)].Reachable(member) {
+		// The member is partitioned away from the m-router right now:
+		// grafting would fail. Remember it; the refresh tick and every
+		// topology heal retry the graft.
+		gs.deferMember(member)
+		return
+	}
 	res := gs.dcdm.Join(member)
 	s.syncMRouterEntry(g, gs)
 	if res.AlreadyOn {
@@ -407,6 +464,7 @@ func (s *SCMP) mrouterLeave(member topology.NodeID, g packet.GroupID) {
 	}
 	_ = s.acct.MemberLeft(g, member)
 	s.replicate(g, member, false)
+	delete(gs.deferred, member)
 	gs.dcdm.Leave(member)
 	s.syncMRouterEntry(g, gs)
 }
@@ -584,13 +642,35 @@ func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
 	switch pkt.Kind {
 	case packet.Join:
 		if s.isHome(node, pkt.Group) {
-			member, g := pkt.Src, pkt.Group
-			s.service.submit(func() { s.mrouterJoin(member, g) })
+			member, g, seq := pkt.Src, pkt.Group, pkt.Seq
+			s.service.submit(func() {
+				s.mrouterJoin(member, g)
+				s.ack(g, packet.Join, member, seq)
+			})
 		}
 	case packet.Leave:
 		if s.isHome(node, pkt.Group) {
-			member, g := pkt.Src, pkt.Group
-			s.service.submit(func() { s.mrouterLeave(member, g) })
+			member, g, seq := pkt.Src, pkt.Group, pkt.Seq
+			s.service.submit(func() {
+				s.mrouterLeave(member, g)
+				s.ack(g, packet.Leave, member, seq)
+			})
+		}
+	case packet.Rejoin:
+		if s.isHome(node, pkt.Group) {
+			info, err := packet.DecodeRejoin(pkt.Payload)
+			if err != nil {
+				return
+			}
+			g, from, seq := pkt.Group, pkt.Src, pkt.Seq
+			s.service.submit(func() {
+				s.mrouterRejoin(g, info)
+				s.ack(g, packet.Rejoin, from, seq)
+			})
+		}
+	case packet.Ack:
+		if pkt.Dst == node {
+			s.handleAck(node, pkt)
 		}
 	case packet.Replicate:
 		if node == s.cfg.Standby {
@@ -629,6 +709,7 @@ func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
 	wasOnTree := e.onTree
 	e.onTree = true
 	e.upstream = pkt.From
+	s.recordRecovery(e)
 	if wasOnTree && oldUp != noUpstream && oldUp != pkt.From {
 		// Restructured: break the loop by pruning toward the old parent.
 		s.net.SendLink(node, oldUp, &netsim.Packet{
@@ -681,9 +762,12 @@ func (s *SCMP) handleBranch(node topology.NodeID, pkt *netsim.Packet) {
 		return
 	}
 	e.version = pkt.Version
-	if !e.onTree {
+	if !e.onTree || e.upstream == noUpstream {
+		// Off tree, or an orphan whose upstream link died: adopt the
+		// branch as the new upstream (local repair re-homing).
 		e.onTree = true
 		e.upstream = pkt.From
+		s.recordRecovery(e)
 	}
 	// Any router the BRANCH confirms on the tree can add the interface
 	// it marked at IGMP-report time — the node may be a mid-path relay
@@ -732,8 +816,16 @@ func (s *SCMP) handleFlush(node topology.NodeID, pkt *netsim.Packet) {
 	if e == nil || !e.onTree {
 		return
 	}
-	if pkt.Version < e.version || pkt.From != e.upstream {
+	if pkt.Version < e.version {
 		return // already re-homed by a newer distribution
+	}
+	// A hop-by-hop flush must come from this router's upstream. A
+	// directed flush — unicast by the m-router to an orphaned relay that
+	// local repair excluded from the re-grafted tree — is addressed to
+	// the node itself and bypasses the upstream match (the orphan has
+	// none to match).
+	if pkt.Dst != node && pkt.From != e.upstream {
+		return
 	}
 	for _, d := range topology.SortedNodes(e.downstream) {
 		s.net.SendLink(node, d, &netsim.Packet{
@@ -751,7 +843,11 @@ func (s *SCMP) handleFlush(node topology.NodeID, pkt *netsim.Packet) {
 	e.hasLocal = false
 	if hadLocal {
 		e.pendingLocal = true
-		s.sendControl(node, pkt.Group, packet.Join, node)
+		s.sendReliable(node, pkt.Group, packet.Join, nil)
+	} else {
+		// A dismantled pure relay has no members waiting: its repair
+		// episode (if any) ends here without a recovery sample.
+		e.repairing = false
 	}
 }
 

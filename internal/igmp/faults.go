@@ -1,0 +1,50 @@
+package igmp
+
+import (
+	"scmp/internal/netsim"
+	"scmp/internal/topology"
+)
+
+// SubnetFaults bridges the fault-injection layer to the subnet model:
+// registered as a netsim.FaultListener, it translates node crashes and
+// restarts into RouterDown/RouterUp on every attached shared subnet, so
+// DR re-election is driven by the same deterministic fault schedule as
+// the rest of the simulation. Link events do not affect subnets (a
+// subnet is a broadcast domain, not a point-to-point link).
+type SubnetFaults struct {
+	subnets []*SharedSubnet
+}
+
+var _ netsim.FaultListener = (*SubnetFaults)(nil)
+
+// NewSubnetFaults builds the adapter and registers it with the
+// network's installed fault layer (install faults first).
+func NewSubnetFaults(n *netsim.Network, subnets ...*SharedSubnet) *SubnetFaults {
+	f := &SubnetFaults{subnets: subnets}
+	n.Faults().AddListener(f)
+	return f
+}
+
+// Attach adds another subnet to the fan-out.
+func (f *SubnetFaults) Attach(s *SharedSubnet) { f.subnets = append(f.subnets, s) }
+
+// LinkDown is a no-op: subnets only care about router liveness.
+func (f *SubnetFaults) LinkDown(u, v topology.NodeID) {}
+
+// LinkUp is a no-op.
+func (f *SubnetFaults) LinkUp(u, v topology.NodeID) {}
+
+// NodeDown marks the crashed router dead on every subnet, re-electing
+// DRs and migrating memberships where it mattered.
+func (f *SubnetFaults) NodeDown(n topology.NodeID) {
+	for _, s := range f.subnets {
+		s.RouterDown(n)
+	}
+}
+
+// NodeUp revives the router on every subnet (pre-emptive re-election).
+func (f *SubnetFaults) NodeUp(n topology.NodeID) {
+	for _, s := range f.subnets {
+		s.RouterUp(n)
+	}
+}

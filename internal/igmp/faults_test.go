@@ -1,0 +1,99 @@
+package igmp
+
+import (
+	"testing"
+
+	"scmp/internal/core"
+	"scmp/internal/netsim"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// ringGraph: 0-1-2-3-4-0, unit delay/cost.
+func ringGraph() *topology.Graph {
+	g := topology.New(5)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	g.MustAddEdge(2, 3, 1, 1)
+	g.MustAddEdge(3, 4, 1, 1)
+	g.MustAddEdge(4, 0, 1, 1)
+	return g
+}
+
+// A scheduled node crash must flow netsim -> SubnetFaults -> SharedSubnet:
+// the backup router wins the DR election, memberships migrate, and SCMP
+// keeps delivering — all inside the deterministic event stream.
+func TestCrashDrivenDRReelection(t *testing.T) {
+	grp := packet.GroupID(1)
+	scmp := core.New(core.Config{MRouter: 0})
+	n := netsim.New(ringGraph(), scmp)
+	f := n.InstallFaults(netsim.FaultPlan{})
+	h := NewHosts(n)
+	s := NewSharedSubnet(h, 2, 3)
+	NewSubnetFaults(n, s)
+
+	s.Join("pc1", grp)
+	n.Run()
+	if dr, _ := s.DR(); dr != 2 {
+		t.Fatalf("initial DR = %d, want 2", dr)
+	}
+	seq := n.SendData(0, grp, 100)
+	n.Run()
+	if missing, _ := n.CheckDelivery(seq); len(missing) != 0 {
+		t.Fatalf("pre-crash missing = %v", missing)
+	}
+
+	// Crash the DR: router 3 must take over and re-register "pc1".
+	f.ScheduleNodeDown(100, 2)
+	n.Run()
+	if dr, _ := s.DR(); dr != 3 {
+		t.Fatalf("post-crash DR = %d, want 3", dr)
+	}
+	if n.IsMember(2, grp) || !n.IsMember(3, grp) {
+		t.Fatalf("membership did not migrate: members = %v", n.Members(grp))
+	}
+	seq = n.SendData(0, grp, 100)
+	n.Run()
+	if missing, anomalous := n.CheckDelivery(seq); len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("post-crash delivery: missing=%v anomalous=%v", missing, anomalous)
+	}
+
+	// Restart: the lower-addressed router pre-empts the election back.
+	f.ScheduleNodeUp(300, 2)
+	n.Run()
+	if dr, _ := s.DR(); dr != 2 {
+		t.Fatalf("post-restart DR = %d, want 2", dr)
+	}
+	if !n.IsMember(2, grp) || n.IsMember(3, grp) {
+		t.Fatalf("membership did not migrate back: members = %v", n.Members(grp))
+	}
+	seq = n.SendData(0, grp, 100)
+	n.Run()
+	if missing, anomalous := n.CheckDelivery(seq); len(missing) != 0 || len(anomalous) != 0 {
+		t.Fatalf("post-restart delivery: missing=%v anomalous=%v", missing, anomalous)
+	}
+}
+
+// Link faults must not disturb subnets; a crash of a non-subnet router
+// must not disturb the election either.
+func TestSubnetFaultsIgnoresIrrelevantEvents(t *testing.T) {
+	grp := packet.GroupID(1)
+	scmp := core.New(core.Config{MRouter: 0})
+	n := netsim.New(ringGraph(), scmp)
+	f := n.InstallFaults(netsim.FaultPlan{})
+	h := NewHosts(n)
+	s := NewSharedSubnet(h, 2, 3)
+	NewSubnetFaults(n, s)
+	s.Join("pc1", grp)
+	n.Run()
+
+	f.ScheduleLinkDown(50, 0, 4)
+	f.ScheduleNodeDown(60, 1)
+	n.Run()
+	if dr, _ := s.DR(); dr != 2 {
+		t.Fatalf("DR = %d after unrelated faults, want 2", dr)
+	}
+	if !n.IsMember(2, grp) {
+		t.Fatal("membership lost to unrelated faults")
+	}
+}

@@ -34,9 +34,15 @@ type Collector struct {
 	linkLoad   map[LinkID]int64
 
 	delivered int64
-	dropped   int64
+	dropped   int64 // data-class packets discarded
+	ctlDrops  int64 // control-class packets discarded or lost
+	dropsKind map[packet.Kind]int64
 	delaySum  float64
 	maxDelay  float64
+
+	recoveries  int64
+	recoverySum float64
+	recoveryMax float64
 }
 
 // OnLink records one packet of the given kind and byte size crossing
@@ -69,9 +75,35 @@ func (c *Collector) OnDeliver(delay float64) {
 	}
 }
 
-// OnDrop records a data packet discarded before reaching a member
-// (RPF failure, off-tree arrival, ...).
-func (c *Collector) OnDrop() { c.dropped++ }
+// OnDrop records a packet of the given kind discarded before reaching
+// its destination — an RPF failure or off-tree arrival for data, a
+// lossy or dead link for any class. Data-class and control-class
+// drops accumulate separately (a lost TREE subpacket is a routing
+// fault, not a delivery fault), and a per-kind count is kept so fault
+// experiments can report exactly which control messages the network
+// ate.
+func (c *Collector) OnDrop(kind packet.Kind) {
+	if c.dropsKind == nil {
+		c.dropsKind = make(map[packet.Kind]int64)
+	}
+	c.dropsKind[kind]++
+	if packet.ClassOf(kind) == packet.ClassData {
+		c.dropped++
+	} else {
+		c.ctlDrops++
+	}
+}
+
+// OnRecovery records one fault-recovery duration: the time from a
+// fault to full delivery being restored, as measured by the fault
+// experiment's probe stream.
+func (c *Collector) OnRecovery(d float64) {
+	c.recoveries++
+	c.recoverySum += d
+	if d > c.recoveryMax {
+		c.recoveryMax = d
+	}
+}
 
 // DataOverhead returns the accumulated data overhead in link-cost units.
 func (c *Collector) DataOverhead() float64 { return c.dataUnits }
@@ -134,8 +166,40 @@ func (c *Collector) NodeLoad(v topology.NodeID) int64 {
 // Delivered returns the number of member deliveries recorded.
 func (c *Collector) Delivered() int64 { return c.delivered }
 
-// Dropped returns the number of discarded data packets recorded.
+// Dropped returns the number of discarded data-class packets recorded.
 func (c *Collector) Dropped() int64 { return c.dropped }
+
+// DroppedControl returns the number of discarded control-class packets
+// — the count the self-healing machinery has to out-persist.
+func (c *Collector) DroppedControl() int64 { return c.ctlDrops }
+
+// DroppedByKind returns how many packets of kind k were discarded.
+func (c *Collector) DroppedByKind(k packet.Kind) int64 { return c.dropsKind[k] }
+
+// DropKinds returns the packet kinds with at least one drop, sorted by
+// kind value for deterministic reports.
+func (c *Collector) DropKinds() []packet.Kind {
+	out := make([]packet.Kind, 0, len(c.dropsKind))
+	for k := range c.dropsKind {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Recoveries returns the number of fault recoveries recorded.
+func (c *Collector) Recoveries() int64 { return c.recoveries }
+
+// MeanRecovery returns the mean fault-recovery time, 0 when none.
+func (c *Collector) MeanRecovery() float64 {
+	if c.recoveries == 0 {
+		return 0
+	}
+	return c.recoverySum / float64(c.recoveries)
+}
+
+// MaxRecovery returns the longest fault-recovery time observed.
+func (c *Collector) MaxRecovery() float64 { return c.recoveryMax }
 
 // MaxEndToEndDelay returns the maximum delivery delay observed.
 func (c *Collector) MaxEndToEndDelay() float64 { return c.maxDelay }

@@ -36,7 +36,7 @@ func TestDelays(t *testing.T) {
 	}
 	c.OnDeliver(1)
 	c.OnDeliver(3)
-	c.OnDrop()
+	c.OnDrop(packet.Data)
 	if c.Delivered() != 2 || c.Dropped() != 1 {
 		t.Fatalf("delivered=%d dropped=%d", c.Delivered(), c.Dropped())
 	}
@@ -68,6 +68,51 @@ func TestLinkLoad(t *testing.T) {
 	}
 	if c.NodeLoad(0) != 2 || c.NodeLoad(2) != 1 {
 		t.Fatalf("NodeLoad = %d/%d", c.NodeLoad(0), c.NodeLoad(2))
+	}
+}
+
+func TestDropSplit(t *testing.T) {
+	var c Collector
+	c.OnDrop(packet.Data)
+	c.OnDrop(packet.EncapData)
+	c.OnDrop(packet.Tree)
+	c.OnDrop(packet.Tree)
+	c.OnDrop(packet.Join)
+	if c.Dropped() != 2 {
+		t.Fatalf("data drops = %d, want 2", c.Dropped())
+	}
+	if c.DroppedControl() != 3 {
+		t.Fatalf("control drops = %d, want 3", c.DroppedControl())
+	}
+	if c.DroppedByKind(packet.Tree) != 2 || c.DroppedByKind(packet.Join) != 1 {
+		t.Fatalf("per-kind drops wrong: tree=%d join=%d",
+			c.DroppedByKind(packet.Tree), c.DroppedByKind(packet.Join))
+	}
+	if c.DroppedByKind(packet.Leave) != 0 {
+		t.Fatal("phantom drop")
+	}
+	kinds := c.DropKinds()
+	want := []packet.Kind{packet.Data, packet.EncapData, packet.Join, packet.Tree}
+	if len(kinds) != len(want) {
+		t.Fatalf("DropKinds = %v", kinds)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("DropKinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	var c Collector
+	if c.MeanRecovery() != 0 || c.MaxRecovery() != 0 || c.Recoveries() != 0 {
+		t.Fatal("zero-value recovery stats wrong")
+	}
+	c.OnRecovery(1)
+	c.OnRecovery(3)
+	if c.Recoveries() != 2 || c.MeanRecovery() != 2 || c.MaxRecovery() != 3 {
+		t.Fatalf("recoveries=%d mean=%g max=%g",
+			c.Recoveries(), c.MeanRecovery(), c.MaxRecovery())
 	}
 }
 

@@ -220,15 +220,45 @@ func (d *DCDM) bestGraftPath(s topology.NodeID, bound float64) []topology.NodeID
 // served only s (§III-D: prune upstream until a member or a fork).
 func (d *DCDM) Leave(s topology.NodeID) LeaveResult {
 	res := LeaveResult{Member: s, Pruned: d.tree.Leave(s)}
-	// Recompute the bound over the remaining members.
+	d.recomputeMaxUL()
+	treeCheckHook(d.tree)
+	return res
+}
+
+// DetachSubtree removes the subtree rooted at v (whose upstream tree
+// link died) from the m-router's tree copy, returning the stranded
+// member routers in ascending order so the caller can re-graft them
+// with fresh Join calls.
+func (d *DCDM) DetachSubtree(v topology.NodeID) []topology.NodeID {
+	orphans := d.tree.DetachSubtree(v)
+	d.recomputeMaxUL()
+	treeCheckHook(d.tree)
+	return orphans
+}
+
+// SetAllPairs swaps in freshly computed shortest-path tables — after a
+// topology fault the old tables route through dead links, so local
+// repair recomputes them with the faulted links masked (see
+// topology.NewAllPairsAvoid) before re-grafting. The member delay bound
+// is recomputed against the new tables; members currently unreachable
+// contribute an infinite unicast delay, which relaxes the relative
+// bound to +Inf for the duration of the partition (repair is
+// best-effort: connectivity first, delay discipline after the heal).
+func (d *DCDM) SetAllPairs(spDelay, spCost topology.AllPairs) {
+	d.spDelay = spDelay
+	d.spCost = spCost
+	d.recomputeMaxUL()
+}
+
+// recomputeMaxUL rebuilds the longest-member-unicast-delay bound input
+// from the current member set.
+func (d *DCDM) recomputeMaxUL() {
 	d.maxUL = 0
 	for _, m := range d.tree.Members() {
 		if ul := d.UnicastDelay(m); ul > d.maxUL {
 			d.maxUL = ul
 		}
 	}
-	treeCheckHook(d.tree)
-	return res
 }
 
 // Graft splices path (which starts at an on-tree router and ends at the

@@ -183,6 +183,40 @@ func (t *Tree) Leave(v topology.NodeID) []topology.NodeID {
 	return t.PruneFrom(v)
 }
 
+// DetachSubtree removes v and its entire subtree from the tree — the
+// local-repair primitive for a subtree that lost its upstream link. The
+// relay chain above v that served only this subtree is pruned back to a
+// member or a fork (as if the subtree had issued a PRUNE). It returns
+// the member routers that were stranded, in ascending order, so the
+// caller can re-graft them. Detaching an off-tree node is a no-op;
+// detaching the root is nonsensical and panics.
+func (t *Tree) DetachSubtree(v topology.NodeID) []topology.NodeID {
+	if v == t.root {
+		panic("mtree: DetachSubtree of the root")
+	}
+	if !t.OnTree(v) {
+		return nil
+	}
+	p := t.parent[v]
+	t.detach(v)
+	var orphans []topology.NodeID
+	stack := []topology.NodeID{v}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.members[x] {
+			orphans = append(orphans, x)
+			delete(t.members, x)
+		}
+		stack = append(stack, topology.SortedNodes(t.children[x])...)
+		delete(t.children, x)
+		delete(t.parent, x)
+	}
+	t.PruneFrom(p)
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	return orphans
+}
+
 // Cost returns the tree cost: the sum of link costs over tree edges.
 func (t *Tree) Cost() float64 {
 	sum := 0.0

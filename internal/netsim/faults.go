@@ -1,0 +1,251 @@
+// Deterministic fault injection: the chaos layer the self-healing SCMP
+// control plane is hardened against. A FaultPlan describes per-class
+// packet loss and a schedule of link/node failures; Faults executes it
+// on the network's own DES clock, drawing every loss decision from one
+// rng stream derived from the plan's seed, so an identically-seeded run
+// replays the exact same faults — packet for packet — regardless of
+// host, parallelism or wall clock.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"scmp/internal/des"
+	"scmp/internal/packet"
+	"scmp/internal/rng"
+	"scmp/internal/topology"
+)
+
+// FaultKind enumerates scheduled fault events.
+type FaultKind int
+
+const (
+	LinkDown FaultKind = iota
+	LinkUp
+	NodeDown
+	NodeUp
+)
+
+var faultKindNames = map[FaultKind]string{
+	LinkDown: "LINK-DOWN", LinkUp: "LINK-UP",
+	NodeDown: "NODE-DOWN", NodeUp: "NODE-UP",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one scheduled topology fault. For link events U and V
+// are the endpoints; for node events U is the router and V is ignored.
+type FaultEvent struct {
+	At   des.Time
+	Kind FaultKind
+	U, V topology.NodeID
+}
+
+// FaultPlan parameterises a fault-injection run. The zero value injects
+// nothing (but still installs the machinery, so events can be scheduled
+// later via the Schedule* methods).
+type FaultPlan struct {
+	// ControlLoss and DataLoss are per-link-crossing drop probabilities
+	// for control-class and data-class packets respectively. Zero
+	// disables loss for that class without consuming any randomness, so
+	// a lossless faulty run stays byte-identical to a fault-free one.
+	ControlLoss float64
+	DataLoss    float64
+	// LossUntil, when positive, confines random loss to simulated times
+	// strictly before it — the "last fault" boundary recovery is
+	// measured from. Zero means loss applies for the whole run.
+	LossUntil des.Time
+	// Seed derives the loss stream (via internal/rng). Plans with equal
+	// seeds lose the same packets in the same order.
+	Seed int64
+	// Events are scheduled at install time. Same-time events apply in
+	// slice order (the DES breaks time ties by insertion sequence).
+	Events []FaultEvent
+}
+
+// FaultListener is the optional interface through which components
+// observe topology faults. The unicast substrate (Network.Next) is
+// always recomputed before listeners run, so a listener reacting to
+// LinkDown can immediately route around the dead link. The Protocol is
+// notified first when it implements the interface; extra listeners
+// (IGMP subnets, experiment probes) follow in registration order.
+type FaultListener interface {
+	LinkDown(u, v topology.NodeID)
+	LinkUp(u, v topology.NodeID)
+	NodeDown(n topology.NodeID)
+	NodeUp(n topology.NodeID)
+}
+
+// linkKey is an undirected link identity for the down-link set.
+type linkKey struct{ a, b topology.NodeID }
+
+func mkLinkKey(u, v topology.NodeID) linkKey {
+	if u > v {
+		u, v = v, u
+	}
+	return linkKey{u, v}
+}
+
+// Faults injects a FaultPlan into a Network: random per-class packet
+// loss plus scheduled link and node failures, all on the DES clock.
+type Faults struct {
+	net       *Network
+	plan      FaultPlan
+	rnd       *rng.Rand
+	downLinks map[linkKey]bool
+	downNodes map[topology.NodeID]bool
+	listeners []FaultListener
+}
+
+// InstallFaults attaches a fault plan to the network and schedules its
+// events. At most one plan per network; installing twice panics.
+func (n *Network) InstallFaults(plan FaultPlan) *Faults {
+	if n.faults != nil {
+		panic("netsim: faults installed twice")
+	}
+	f := &Faults{
+		net:       n,
+		plan:      plan,
+		rnd:       rng.New(plan.Seed),
+		downLinks: make(map[linkKey]bool),
+		downNodes: make(map[topology.NodeID]bool),
+	}
+	n.faults = f
+	for _, ev := range plan.Events {
+		ev := ev
+		n.Sched.At(ev.At, func() { f.apply(ev) })
+	}
+	return f
+}
+
+// Faults returns the installed fault layer, nil when none.
+func (n *Network) Faults() *Faults { return n.faults }
+
+// AddListener registers an extra fault observer (the Protocol is
+// auto-notified when it implements FaultListener; don't register it).
+func (f *Faults) AddListener(l FaultListener) { f.listeners = append(f.listeners, l) }
+
+// ScheduleLinkDown cuts the link {u,v} at simulated time at.
+func (f *Faults) ScheduleLinkDown(at des.Time, u, v topology.NodeID) {
+	f.net.Sched.At(at, func() { f.apply(FaultEvent{Kind: LinkDown, U: u, V: v}) })
+}
+
+// ScheduleLinkUp restores the link {u,v} at simulated time at.
+func (f *Faults) ScheduleLinkUp(at des.Time, u, v topology.NodeID) {
+	f.net.Sched.At(at, func() { f.apply(FaultEvent{Kind: LinkUp, U: u, V: v}) })
+}
+
+// ScheduleNodeDown crashes router n at simulated time at.
+func (f *Faults) ScheduleNodeDown(at des.Time, n topology.NodeID) {
+	f.net.Sched.At(at, func() { f.apply(FaultEvent{Kind: NodeDown, U: n}) })
+}
+
+// ScheduleNodeUp restarts router n at simulated time at. The restarted
+// router has lost all protocol state; ground-truth member hosts on its
+// subnet re-report their memberships (the IGMP query cycle), driving a
+// fresh protocol join.
+func (f *Faults) ScheduleNodeUp(at des.Time, n topology.NodeID) {
+	f.net.Sched.At(at, func() { f.apply(FaultEvent{Kind: NodeUp, U: n}) })
+}
+
+// LinkIsDown reports whether {u,v} is unusable: scheduled down, or
+// touching a crashed node.
+func (f *Faults) LinkIsDown(u, v topology.NodeID) bool {
+	return f.downLinks[mkLinkKey(u, v)] || f.downNodes[u] || f.downNodes[v]
+}
+
+// NodeIsDown reports whether router n is crashed.
+func (f *Faults) NodeIsDown(n topology.NodeID) bool { return f.downNodes[n] }
+
+// Avoid returns the routing mask the current fault state implies, for
+// protocols recomputing their own path tables (topology.ShortestAvoid).
+func (f *Faults) Avoid() topology.AvoidFunc {
+	return func(u, v topology.NodeID) bool { return f.LinkIsDown(u, v) }
+}
+
+// lose draws the loss decision for one crossing of a kind-classed
+// packet. No randomness is consumed when the class's rate is zero or
+// the loss window has closed, so such runs replay identically to
+// configurations without loss.
+func (f *Faults) lose(kind packet.Kind) bool {
+	rate := f.plan.DataLoss
+	if packet.ClassOf(kind) == packet.ClassProtocol {
+		rate = f.plan.ControlLoss
+	}
+	if rate <= 0 {
+		return false
+	}
+	if f.plan.LossUntil > 0 && f.net.Sched.Now() >= f.plan.LossUntil {
+		return false
+	}
+	return f.rnd.Float64() < rate
+}
+
+// apply executes one fault event: update the down sets, reconverge the
+// unicast substrate, then notify the protocol and listeners. NodeUp
+// additionally re-reports the router's ground-truth memberships.
+func (f *Faults) apply(ev FaultEvent) {
+	switch ev.Kind {
+	case LinkDown:
+		if _, ok := f.net.G.Edge(ev.U, ev.V); !ok {
+			panic(fmt.Sprintf("netsim: fault on non-edge {%d,%d}", ev.U, ev.V))
+		}
+		f.downLinks[mkLinkKey(ev.U, ev.V)] = true
+	case LinkUp:
+		delete(f.downLinks, mkLinkKey(ev.U, ev.V))
+	case NodeDown:
+		f.downNodes[ev.U] = true
+	case NodeUp:
+		delete(f.downNodes, ev.U)
+	}
+	f.net.RecomputeRoutes()
+	f.notify(ev)
+	if ev.Kind == NodeUp {
+		f.rereport(ev.U)
+	}
+}
+
+// notify fans the event to the protocol (when it listens) and the
+// registered listeners, in deterministic order.
+func (f *Faults) notify(ev FaultEvent) {
+	all := make([]FaultListener, 0, len(f.listeners)+1)
+	if pl, ok := f.net.Proto.(FaultListener); ok {
+		all = append(all, pl)
+	}
+	all = append(all, f.listeners...)
+	for _, l := range all {
+		switch ev.Kind {
+		case LinkDown:
+			l.LinkDown(ev.U, ev.V)
+		case LinkUp:
+			l.LinkUp(ev.U, ev.V)
+		case NodeDown:
+			l.NodeDown(ev.U)
+		case NodeUp:
+			l.NodeUp(ev.U)
+		}
+	}
+}
+
+// rereport replays the restarted router's ground-truth memberships into
+// the protocol — the modelled IGMP query round after a DR reboot: the
+// member hosts never left the subnet, so the first query re-learns them
+// and the DR re-joins their groups.
+func (f *Faults) rereport(node topology.NodeID) {
+	gids := make([]packet.GroupID, 0, len(f.net.members))
+	for g := range f.net.members {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, g := range gids {
+		if f.net.members[g][node] {
+			f.net.Proto.HostJoin(node, g)
+		}
+	}
+}

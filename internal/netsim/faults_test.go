@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"testing"
+
+	"scmp/internal/des"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// ringGraph builds a 4-node ring so every link cut leaves an alternate
+// route: 0-1-2-3-0, delay 2, cost 5 per link.
+func ringGraph() *topology.Graph {
+	g := topology.New(4)
+	g.MustAddEdge(0, 1, 2, 5)
+	g.MustAddEdge(1, 2, 2, 5)
+	g.MustAddEdge(2, 3, 2, 5)
+	g.MustAddEdge(3, 0, 2, 5)
+	return g
+}
+
+// faultRecorder logs fault notifications in arrival order.
+type faultRecorder struct{ events []FaultEvent }
+
+func (r *faultRecorder) LinkDown(u, v topology.NodeID) {
+	r.events = append(r.events, FaultEvent{Kind: LinkDown, U: u, V: v})
+}
+func (r *faultRecorder) LinkUp(u, v topology.NodeID) {
+	r.events = append(r.events, FaultEvent{Kind: LinkUp, U: u, V: v})
+}
+func (r *faultRecorder) NodeDown(n topology.NodeID) {
+	r.events = append(r.events, FaultEvent{Kind: NodeDown, U: n})
+}
+func (r *faultRecorder) NodeUp(n topology.NodeID) {
+	r.events = append(r.events, FaultEvent{Kind: NodeUp, U: n})
+}
+
+func TestLinkDownDropsAndReroutes(t *testing.T) {
+	p := &echoProto{}
+	n := New(ringGraph(), p)
+	f := n.InstallFaults(FaultPlan{})
+	rec := &faultRecorder{}
+	f.AddListener(rec)
+
+	if n.Next[0][1] != 1 {
+		t.Fatalf("pre-fault next hop 0->1 = %d", n.Next[0][1])
+	}
+	f.ScheduleLinkDown(10, 0, 1)
+	n.RunUntil(11)
+
+	if len(rec.events) != 1 || rec.events[0].Kind != LinkDown {
+		t.Fatalf("listener events = %+v", rec.events)
+	}
+	// The unicast substrate routed around the cut: 0->1 now goes the
+	// long way via 3.
+	if n.Next[0][1] != 3 {
+		t.Fatalf("post-fault next hop 0->1 = %d, want 3", n.Next[0][1])
+	}
+	// A direct SendLink on the dead link is refused and counted.
+	n.SendLink(0, 1, &Packet{Kind: packet.Join, Size: 64})
+	n.Run()
+	if len(p.got) != 0 {
+		t.Fatalf("delivered %d packets over a dead link", len(p.got))
+	}
+	if n.Metrics.DroppedControl() != 1 || n.Metrics.DroppedByKind(packet.Join) != 1 {
+		t.Fatalf("control drops = %d", n.Metrics.DroppedControl())
+	}
+	// Restoring the link restores the direct route.
+	f.ScheduleLinkUp(20, 0, 1)
+	n.Run()
+	if n.Next[0][1] != 1 {
+		t.Fatalf("post-repair next hop 0->1 = %d, want 1", n.Next[0][1])
+	}
+	if len(rec.events) != 2 || rec.events[1].Kind != LinkUp {
+		t.Fatalf("listener events = %+v", rec.events)
+	}
+}
+
+func TestInFlightPacketLostToLinkCut(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(2), p)
+	n.InstallFaults(FaultPlan{Events: []FaultEvent{{At: 1, Kind: LinkDown, U: 0, V: 1}}})
+	// Sent at t=0, arrives at t=2 — but the link dies at t=1 underneath
+	// it, so the packet is lost at arrival time.
+	n.SendLink(0, 1, &Packet{Kind: packet.Tree, Size: 64})
+	n.Run()
+	if len(p.got) != 0 {
+		t.Fatal("packet survived a mid-flight link cut")
+	}
+	if n.Metrics.DroppedByKind(packet.Tree) != 1 {
+		t.Fatalf("TREE drops = %d, want 1", n.Metrics.DroppedByKind(packet.Tree))
+	}
+}
+
+func TestNodeCrashKillsAdjacentLinks(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(3), p)
+	f := n.InstallFaults(FaultPlan{})
+	f.ScheduleNodeDown(5, 1)
+	n.RunUntil(6)
+	if !f.NodeIsDown(1) || !f.LinkIsDown(0, 1) || !f.LinkIsDown(1, 2) {
+		t.Fatal("crashed node's links must read as down")
+	}
+	n.SendLink(0, 1, &Packet{Kind: packet.Data, Size: 100})
+	n.Run()
+	if len(p.got) != 0 {
+		t.Fatal("delivered to a crashed node")
+	}
+	if n.Metrics.Dropped() != 1 {
+		t.Fatalf("data drops = %d, want 1", n.Metrics.Dropped())
+	}
+}
+
+func TestUnicastPartitionDropsInsteadOfPanicking(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(3), p)
+	n.InstallFaults(FaultPlan{Events: []FaultEvent{{At: 0, Kind: LinkDown, U: 1, V: 2}}})
+	n.RunUntil(1)
+	n.SendUnicast(0, &Packet{Kind: packet.Rejoin, Dst: 2, Size: 64})
+	n.Run()
+	if len(p.got) != 0 {
+		t.Fatal("delivered across a partition")
+	}
+	if n.Metrics.DroppedByKind(packet.Rejoin) != 1 {
+		t.Fatalf("REJOIN drops = %d, want 1", n.Metrics.DroppedByKind(packet.Rejoin))
+	}
+}
+
+func TestNodeUpRereportsGroundTruthMembers(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(3), p)
+	f := n.InstallFaults(FaultPlan{})
+	n.HostJoin(1, 9)
+	n.HostJoin(1, 7)
+	n.HostJoin(2, 7)
+	p.joined = nil
+
+	f.ScheduleNodeDown(5, 1)
+	f.ScheduleNodeUp(10, 1)
+	n.Run()
+	// Exactly node 1's memberships are re-reported, in ascending group
+	// order (7 then 9) — node 2 never crashed.
+	if len(p.joined) != 2 || p.joined[0] != 1 || p.joined[1] != 1 {
+		t.Fatalf("re-reported joins = %v, want [1 1]", p.joined)
+	}
+}
+
+func TestPerClassLoss(t *testing.T) {
+	// ControlLoss=1 kills every control packet but no data; DataLoss=1
+	// the reverse.
+	run := func(ctl, data float64) (*echoProto, *Network) {
+		p := &echoProto{}
+		n := New(lineGraph(2), p)
+		n.InstallFaults(FaultPlan{ControlLoss: ctl, DataLoss: data, Seed: 1})
+		n.SendLink(0, 1, &Packet{Kind: packet.Join, Size: 64})
+		n.SendLink(0, 1, &Packet{Kind: packet.Data, Size: 100})
+		n.Run()
+		return p, n
+	}
+	p, n := run(1, 0)
+	if len(p.got) != 1 || p.got[0].pkt.Kind != packet.Data {
+		t.Fatalf("with ControlLoss=1: got %+v", p.got)
+	}
+	if n.Metrics.DroppedControl() != 1 || n.Metrics.Dropped() != 0 {
+		t.Fatalf("drops ctl=%d data=%d", n.Metrics.DroppedControl(), n.Metrics.Dropped())
+	}
+	p, n = run(0, 1)
+	if len(p.got) != 1 || p.got[0].pkt.Kind != packet.Join {
+		t.Fatalf("with DataLoss=1: got %+v", p.got)
+	}
+	if n.Metrics.Dropped() != 1 || n.Metrics.DroppedControl() != 0 {
+		t.Fatalf("drops ctl=%d data=%d", n.Metrics.DroppedControl(), n.Metrics.Dropped())
+	}
+}
+
+func TestLossDeterministicAcrossRuns(t *testing.T) {
+	run := func(seed int64) (delivered, dropped int64) {
+		p := &echoProto{}
+		n := New(lineGraph(2), p)
+		n.InstallFaults(FaultPlan{ControlLoss: 0.4, Seed: seed})
+		for i := 0; i < 200; i++ {
+			n.SendLink(0, 1, &Packet{Kind: packet.Join, Size: 64})
+		}
+		n.Run()
+		return int64(len(p.got)), n.Metrics.DroppedControl()
+	}
+	d1, x1 := run(42)
+	d2, x2 := run(42)
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, x1, d2, x2)
+	}
+	if x1 == 0 || d1 == 0 {
+		t.Fatalf("40%% loss should both drop and deliver: delivered=%d dropped=%d", d1, x1)
+	}
+	d3, _ := run(43)
+	if d3 == d1 {
+		t.Log("different seeds delivered the same count (possible, just unlikely)")
+	}
+}
+
+func TestLossWindowCloses(t *testing.T) {
+	p := &echoProto{}
+	n := New(lineGraph(2), p)
+	n.InstallFaults(FaultPlan{ControlLoss: 1, LossUntil: 10, Seed: 1})
+	n.Sched.At(20, func() {
+		n.SendLink(0, 1, &Packet{Kind: packet.Join, Size: 64})
+	})
+	n.Run()
+	// At t=20 the loss window has closed: the packet survives.
+	if len(p.got) != 1 {
+		t.Fatalf("post-window packet dropped (got %d deliveries)", len(p.got))
+	}
+}
+
+func TestZeroLossPlanIsTransparent(t *testing.T) {
+	// Installing an empty plan must not perturb behaviour at all.
+	run := func(install bool) des.Time {
+		p := &echoProto{}
+		n := New(lineGraph(4), p)
+		if install {
+			n.InstallFaults(FaultPlan{Seed: 99})
+		}
+		n.SendUnicast(0, &Packet{Kind: packet.Join, Dst: 3, Size: 64})
+		n.Run()
+		if len(p.got) != 1 {
+			t.Fatalf("got %d deliveries", len(p.got))
+		}
+		return n.Sched.Now()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("empty fault plan changed timing: %v vs %v", a, b)
+	}
+}
+
+func TestInstallFaultsTwicePanics(t *testing.T) {
+	n := New(lineGraph(2), &echoProto{})
+	n.InstallFaults(FaultPlan{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.InstallFaults(FaultPlan{})
+}
+
+func TestFaultOnNonEdgePanics(t *testing.T) {
+	n := New(lineGraph(3), &echoProto{})
+	n.InstallFaults(FaultPlan{Events: []FaultEvent{{At: 0, Kind: LinkDown, U: 0, V: 2}}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Run()
+}
+
+func TestFaultKindString(t *testing.T) {
+	if LinkDown.String() != "LINK-DOWN" || NodeUp.String() != "NODE-UP" {
+		t.Fatal("fault kind names wrong")
+	}
+	if FaultKind(99).String() != "FaultKind(99)" {
+		t.Fatal("unknown fault kind name wrong")
+	}
+}

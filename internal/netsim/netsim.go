@@ -82,6 +82,8 @@ type Network struct {
 	// default) models infinite capacity: propagation only.
 	Bandwidth float64
 	busyUntil map[dirLink]des.Time
+
+	faults *Faults
 }
 
 // dirLink is a directed link (queueing is per transmit side).
@@ -125,6 +127,49 @@ func (n *Network) linkLatency(from, to topology.NodeID, propagation float64, siz
 // Now returns the current simulated time.
 func (n *Network) Now() des.Time { return n.Sched.Now() }
 
+// RecomputeRoutes rebuilds the unicast next-hop tables against the
+// current topology, masking out faulted links and crashed routers. The
+// fault layer calls it before notifying listeners of any change; it is
+// also safe to call directly.
+func (n *Network) RecomputeRoutes() {
+	if n.faults == nil {
+		n.Next = topology.NextHop(n.G)
+		return
+	}
+	n.Next = topology.NextHopAvoid(n.G, n.faults.Avoid())
+}
+
+// admit applies the fault layer to one link crossing offered at send
+// time: a down link (or crashed endpoint) refuses the packet outright,
+// and random loss may claim it mid-flight. Refused or lost packets are
+// counted per kind; only admitted && !lost packets were transmitted
+// successfully (lost ones still occupied the link). The delivery
+// callback must still re-check the fault state at arrival time —
+// a fault can strike while the packet is in flight.
+func (n *Network) admit(from, to topology.NodeID, kind packet.Kind) (admitted, lost bool) {
+	if n.faults == nil {
+		return true, false
+	}
+	if n.faults.LinkIsDown(from, to) {
+		n.Metrics.OnDrop(kind)
+		return false, false
+	}
+	return true, n.faults.lose(kind)
+}
+
+// arrived reports whether a packet scheduled on from->to survives to be
+// handled at to, counting the drop otherwise.
+func (n *Network) arrived(from, to topology.NodeID, kind packet.Kind, lost bool) bool {
+	if n.faults == nil {
+		return true
+	}
+	if lost || n.faults.LinkIsDown(from, to) {
+		n.Metrics.OnDrop(kind)
+		return false
+	}
+	return true
+}
+
 // SendLink transmits a copy of pkt from one router to an adjacent one:
 // it accounts the link crossing and schedules HandlePacket at the
 // far end after the link delay.
@@ -132,6 +177,10 @@ func (n *Network) SendLink(from, to topology.NodeID, pkt *Packet) {
 	l, ok := n.G.Edge(from, to)
 	if !ok {
 		panic(fmt.Sprintf("netsim: SendLink %d->%d not adjacent", from, to))
+	}
+	admitted, lost := n.admit(from, to, pkt.Kind)
+	if !admitted {
+		return
 	}
 	cp := *pkt
 	cp.From = from
@@ -141,6 +190,9 @@ func (n *Network) SendLink(from, to topology.NodeID, pkt *Packet) {
 		n.Trace(from, to, &cp)
 	}
 	n.Sched.At(n.linkLatency(from, to, l.Delay, cp.Size), func() {
+		if !n.arrived(from, to, cp.Kind, lost) {
+			return
+		}
 		n.Proto.HandlePacket(to, &cp)
 	})
 }
@@ -163,7 +215,18 @@ func (n *Network) SendUnicast(src topology.NodeID, pkt *Packet) {
 func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
 	nh := n.Next[at][pkt.Dst]
 	if nh == -1 {
+		// With faults installed a partition is a legitimate runtime
+		// state: the packet dies here and the drop is accounted.
+		// Without faults an unreachable destination is a harness bug.
+		if n.faults != nil {
+			n.Metrics.OnDrop(pkt.Kind)
+			return
+		}
 		panic(fmt.Sprintf("netsim: no unicast route %d->%d", at, pkt.Dst))
+	}
+	admitted, lost := n.admit(at, nh, pkt.Kind)
+	if !admitted {
+		return
 	}
 	l, _ := n.G.Edge(at, nh)
 	cp := *pkt
@@ -173,6 +236,9 @@ func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
 		n.Trace(at, nh, &cp)
 	}
 	n.Sched.At(n.linkLatency(at, nh, l.Delay, cp.Size), func() {
+		if !n.arrived(at, nh, cp.Kind, lost) {
+			return
+		}
 		if nh == cp.Dst {
 			n.Proto.HandlePacket(nh, &cp)
 		} else {
@@ -255,7 +321,7 @@ func (n *Network) DeliverLocal(node topology.NodeID, pkt *Packet) {
 }
 
 // DropData is called by protocols when they discard a data packet.
-func (n *Network) DropData() { n.Metrics.OnDrop() }
+func (n *Network) DropData() { n.Metrics.OnDrop(packet.Data) }
 
 // CheckDelivery compares a data packet's deliveries against the member
 // snapshot taken at send time. It returns the members that never

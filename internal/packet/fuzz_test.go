@@ -26,16 +26,63 @@ func FuzzDecodeSubtree(f *testing.F) {
 	})
 }
 
-// FuzzDecodeBranch checks the BRANCH decoder likewise.
+// FuzzDecodeBranch checks the BRANCH decoder likewise: no panics,
+// canonical round-trips, and graceful rejection of truncated payloads
+// (every prefix of a valid encoding must error, never decode).
 func FuzzDecodeBranch(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add(EncodeBranch([]topology.NodeID{2, 4, 10}))
+	full := EncodeBranch([]topology.NodeID{1, 2, 3, 4})
+	for i := 1; i < len(full); i++ {
+		f.Add(full[:i])
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := DecodeBranch(data)
 		if err != nil {
 			return
 		}
 		re := EncodeBranch(p)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeAck checks the ACK decoder: decode∘encode identity on
+// accepted payloads, errors (never panics) on everything else.
+func FuzzDecodeAck(f *testing.F) {
+	full := EncodeAck(AckInfo{Req: Join, Seq: 0xDEADBEEF})
+	f.Add(full)
+	for i := 1; i < len(full); i++ {
+		f.Add(full[:i])
+	}
+	f.Add(append(full, 0)) // trailing garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAck(data)
+		if err != nil {
+			return
+		}
+		re := EncodeAck(a)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeRejoin checks the REJOIN decoder likewise.
+func FuzzDecodeRejoin(f *testing.F) {
+	full := EncodeRejoin(RejoinInfo{Detached: 7, Dead: 3})
+	f.Add(full)
+	for i := 1; i < len(full); i++ {
+		f.Add(full[:i])
+	}
+	f.Add(append(full, 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRejoin(data)
+		if err != nil {
+			return
+		}
+		re := EncodeRejoin(r)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
 		}

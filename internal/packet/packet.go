@@ -41,6 +41,13 @@ const (
 	// membership changes to the secondary so it can take over.
 	Replicate
 
+	// SCMP reliability and local repair (fault model): the m-router
+	// acknowledges reliable JOIN/LEAVE/REJOIN requests, and an i-router
+	// whose upstream link died re-homes its orphaned subtree with a
+	// REJOIN toward the m-router.
+	Ack
+	Rejoin
+
 	// DVMRP control.
 	DvmrpPrune
 	DvmrpGraft
@@ -58,6 +65,7 @@ var kindNames = map[Kind]string{
 	Data: "DATA", EncapData: "ENCAP-DATA",
 	Join: "JOIN", Leave: "LEAVE", Tree: "TREE", Branch: "BRANCH",
 	Prune: "PRUNE", Flush: "FLUSH", Replicate: "REPLICATE",
+	Ack: "ACK", Rejoin: "REJOIN",
 	DvmrpPrune: "DVMRP-PRUNE", DvmrpGraft: "DVMRP-GRAFT",
 	GroupLSA: "GROUP-LSA",
 	CbtJoin:  "CBT-JOIN", CbtJoinAck: "CBT-JOIN-ACK", CbtQuit: "CBT-QUIT",
@@ -240,4 +248,73 @@ func DecodeBranch(b []byte) ([]topology.NodeID, error) {
 		path[i] = topology.NodeID(binary.BigEndian.Uint32(b[4*i:]))
 	}
 	return path, nil
+}
+
+// --- ACK packet encoding (fault model) ---------------------------------
+//
+// An ACK confirms one reliable control request. It echoes the request's
+// kind and sequence number so the requester can match it against its
+// retransmission state: req_kind (uint32) | req_seq (uint64), all
+// big-endian.
+
+// AckInfo is the decoded form of an ACK payload.
+type AckInfo struct {
+	Req Kind   // the request kind being acknowledged (Join, Leave, Rejoin)
+	Seq uint64 // the request's sequence number, echoed verbatim
+}
+
+// EncodeAck renders an ACK payload.
+func EncodeAck(a AckInfo) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(a.Req))
+	return binary.BigEndian.AppendUint64(buf, a.Seq)
+}
+
+// DecodeAck parses an ACK payload, rejecting truncation and trailing
+// garbage.
+func DecodeAck(b []byte) (AckInfo, error) {
+	if len(b) < 12 {
+		return AckInfo{}, ErrTruncated
+	}
+	if len(b) != 12 {
+		return AckInfo{}, fmt.Errorf("packet: %d trailing bytes after ACK payload", len(b)-12)
+	}
+	return AckInfo{
+		Req: Kind(binary.BigEndian.Uint32(b)),
+		Seq: binary.BigEndian.Uint64(b[4:]),
+	}, nil
+}
+
+// --- REJOIN packet encoding (fault model) ------------------------------
+//
+// A REJOIN is sent by an i-router whose upstream tree link died: it asks
+// the m-router to prune the orphaned subtree from its tree copy and
+// re-graft the stranded members. The payload names the detached router
+// (the subtree root) and the dead upstream neighbour:
+// detached (uint32) | dead_upstream (uint32), big-endian.
+
+// RejoinInfo is the decoded form of a REJOIN payload.
+type RejoinInfo struct {
+	Detached topology.NodeID // the router whose upstream link died
+	Dead     topology.NodeID // the unreachable upstream neighbour
+}
+
+// EncodeRejoin renders a REJOIN payload.
+func EncodeRejoin(r RejoinInfo) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(r.Detached))
+	return binary.BigEndian.AppendUint32(buf, uint32(r.Dead))
+}
+
+// DecodeRejoin parses a REJOIN payload, rejecting truncation and
+// trailing garbage.
+func DecodeRejoin(b []byte) (RejoinInfo, error) {
+	if len(b) < 8 {
+		return RejoinInfo{}, ErrTruncated
+	}
+	if len(b) != 8 {
+		return RejoinInfo{}, fmt.Errorf("packet: %d trailing bytes after REJOIN payload", len(b)-8)
+	}
+	return RejoinInfo{
+		Detached: topology.NodeID(binary.BigEndian.Uint32(b)),
+		Dead:     topology.NodeID(binary.BigEndian.Uint32(b[4:])),
+	}, nil
 }

@@ -24,10 +24,56 @@ func TestClassOf(t *testing.T) {
 	if ClassOf(Data) != ClassData || ClassOf(EncapData) != ClassData {
 		t.Fatal("data kinds misclassified")
 	}
-	for _, k := range []Kind{Join, Leave, Tree, Branch, Prune, Flush, Replicate, DvmrpPrune, DvmrpGraft, GroupLSA, CbtJoin, CbtJoinAck, CbtQuit} {
+	for _, k := range []Kind{Join, Leave, Tree, Branch, Prune, Flush, Replicate, Ack, Rejoin, DvmrpPrune, DvmrpGraft, GroupLSA, CbtJoin, CbtJoinAck, CbtQuit} {
 		if ClassOf(k) != ClassProtocol {
 			t.Fatalf("%v misclassified as data", k)
 		}
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	in := AckInfo{Req: Rejoin, Seq: 1<<40 | 17}
+	out, err := DecodeAck(EncodeAck(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestAckErrors(t *testing.T) {
+	full := EncodeAck(AckInfo{Req: Join, Seq: 9})
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeAck(full[:i]); err == nil {
+			t.Errorf("truncated ACK of %d bytes accepted", i)
+		}
+	}
+	if _, err := DecodeAck(append(full, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestRejoinRoundTrip(t *testing.T) {
+	in := RejoinInfo{Detached: 12, Dead: 4}
+	out, err := DecodeRejoin(EncodeRejoin(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestRejoinErrors(t *testing.T) {
+	full := EncodeRejoin(RejoinInfo{Detached: 1, Dead: 2})
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeRejoin(full[:i]); err == nil {
+			t.Errorf("truncated REJOIN of %d bytes accepted", i)
+		}
+	}
+	if _, err := DecodeRejoin(append(full, 0)); err == nil {
+		t.Error("trailing garbage accepted")
 	}
 }
 

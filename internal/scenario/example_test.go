@@ -34,3 +34,35 @@ print tree group=1
 	//   2 -> 0
 	//   5 -> 2
 }
+
+// Example_localRepair cuts the backbone link the tree hangs off
+// mid-run. Router 2, orphaned with member 5 behind it, REJOINs toward
+// the m-router, which detaches the dead subtree from its DCDM copy and
+// re-grafts the member over the live 0-1-2 path: compare the repaired
+// parent edges with Example's original 2 -> 0.
+func Example_localRepair() {
+	script, err := scenario.Parse(strings.NewReader(`
+# same session as Example, plus a link cut and the healing stack
+topology arpanet
+scale-delays 0.001
+protocol scmp mrouter=0 kappa=1.5 ack=0.05 retries=8 refresh=1
+at 0.0 join 5
+at 2.0 link-down 0 2
+at 4.0 send 0 size=1000
+run 8
+expect delivered
+print tree
+`))
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	if err := script.Run(os.Stdout); err != nil {
+		fmt.Println("run:", err)
+	}
+	// Output:
+	// group 1: root=0 cost=142.8 delay=0.0835 members=[5]
+	//   1 -> 0
+	//   2 -> 1
+	//   5 -> 2
+}

@@ -23,6 +23,15 @@
 // as milliseconds) and `bandwidth B` gives links a finite capacity of
 // B bytes/s (queueing + transmission + propagation, the paper's
 // three-component link delay); both must precede `protocol`.
+//
+// Fault injection: `faults loss-control=P loss-data=P until=T seed=S`
+// (after `protocol`) installs a deterministic fault plan, and the
+// events `at T link-down U V`, `at T link-up U V`, `at T node-down N`
+// and `at T node-up N` schedule topology faults (installing an empty
+// plan on first use if `faults` was not given). The scmp protocol
+// accepts ack=T (reliable JOIN/LEAVE ACK timeout), retries=N and
+// refresh=T (soft-state tree refresh interval); `run` quiesces those
+// periodic timers after its deadline so the clock drains.
 package scenario
 
 import (
@@ -97,7 +106,7 @@ func Parse(r io.Reader) (*Script, error) {
 			}
 		}
 		switch cmd.verb {
-		case "topology", "scale-delays", "bandwidth", "protocol", "at", "run", "expect", "print":
+		case "topology", "scale-delays", "bandwidth", "protocol", "faults", "at", "run", "expect", "print":
 		default:
 			return nil, fmt.Errorf("line %d: unknown command %q", lineNo, cmd.verb)
 		}
@@ -147,7 +156,8 @@ type state struct {
 	scale     float64
 	bandwidth float64
 	net       *netsim.Network
-	scmp      *core.SCMP // non-nil when the protocol is SCMP
+	scmp      *core.SCMP     // non-nil when the protocol is SCMP
+	faults    *netsim.Faults // non-nil once a fault plan is installed
 	sent      []uint64
 	w         io.Writer
 }
@@ -195,6 +205,8 @@ func (st *state) exec(c command) error {
 		return nil
 	case "protocol":
 		return st.execProtocol(c)
+	case "faults":
+		return st.execFaults(c)
 	case "at":
 		return st.execAt(c)
 	case "run":
@@ -207,6 +219,11 @@ func (st *state) exec(c command) error {
 				return fmt.Errorf("line %d: bad run deadline %q", c.line, c.args[0])
 			}
 			st.net.RunUntil(des.Time(t))
+		}
+		// Periodic soft-state timers re-arm forever; cancel them so the
+		// drain below terminates (a no-op unless refresh/ack are set).
+		if st.scmp != nil {
+			st.scmp.Quiesce()
 		}
 		st.net.Run()
 		return nil
@@ -302,11 +319,26 @@ func (st *state) execProtocol(c command) error {
 		if err != nil {
 			return err
 		}
+		ack, err := c.float("ack", 0)
+		if err != nil {
+			return err
+		}
+		retries, err := c.int("retries", 0)
+		if err != nil {
+			return err
+		}
+		refresh, err := c.float("refresh", 0)
+		if err != nil {
+			return err
+		}
 		s := core.New(core.Config{
-			MRouter:     topology.NodeID(mrouter),
-			Kappa:       kappa,
-			Standby:     topology.NodeID(standby),
-			DelayBudget: budget,
+			MRouter:         topology.NodeID(mrouter),
+			Kappa:           kappa,
+			Standby:         topology.NodeID(standby),
+			DelayBudget:     budget,
+			AckTimeout:      ack,
+			RetryCap:        retries,
+			RefreshInterval: refresh,
 		})
 		st.scmp = s
 		proto = s
@@ -330,6 +362,53 @@ func (st *state) execProtocol(c command) error {
 	st.net = netsim.New(g, proto)
 	st.net.Bandwidth = st.bandwidth
 	return nil
+}
+
+// execFaults installs the deterministic fault plan. It must follow
+// `protocol` and precede any scheduled fault event (those auto-install
+// an empty plan, and a network accepts only one).
+func (st *state) execFaults(c command) error {
+	if st.net == nil {
+		return fmt.Errorf("line %d: faults before protocol", c.line)
+	}
+	if st.faults != nil {
+		return fmt.Errorf("line %d: faults already installed", c.line)
+	}
+	lossCtl, err := c.float("loss-control", 0)
+	if err != nil {
+		return err
+	}
+	lossData, err := c.float("loss-data", 0)
+	if err != nil {
+		return err
+	}
+	if lossCtl < 0 || lossCtl > 1 || lossData < 0 || lossData > 1 {
+		return fmt.Errorf("line %d: loss rates must be in [0, 1]", c.line)
+	}
+	until, err := c.float("until", 0)
+	if err != nil {
+		return err
+	}
+	seed, err := c.int("seed", 1)
+	if err != nil {
+		return err
+	}
+	st.faults = st.net.InstallFaults(netsim.FaultPlan{
+		ControlLoss: lossCtl,
+		DataLoss:    lossData,
+		LossUntil:   des.Time(until),
+		Seed:        int64(seed),
+	})
+	return nil
+}
+
+// ensureFaults lazily installs an empty plan so scripts can schedule
+// topology faults without a `faults` line.
+func (st *state) ensureFaults() *netsim.Faults {
+	if st.faults == nil {
+		st.faults = st.net.InstallFaults(netsim.FaultPlan{})
+	}
+	return st.faults
 }
 
 func (st *state) execAt(c command) error {
@@ -380,6 +459,31 @@ func (st *state) execAt(c command) error {
 			return fmt.Errorf("line %d: failover requires the scmp protocol", c.line)
 		}
 		st.net.Sched.At(des.Time(c.at), func() { st.scmp.Failover() })
+	case "link-down", "link-up":
+		if len(c.args) != 2 {
+			return fmt.Errorf("line %d: %s needs two endpoints", c.line, c.sub)
+		}
+		u, errU := strconv.Atoi(c.args[0])
+		v, errV := strconv.Atoi(c.args[1])
+		if errU != nil || errV != nil ||
+			!st.net.G.HasEdge(topology.NodeID(u), topology.NodeID(v)) {
+			return fmt.Errorf("line %d: %s: no link %s-%s", c.line, c.sub, c.args[0], c.args[1])
+		}
+		if c.sub == "link-down" {
+			st.ensureFaults().ScheduleLinkDown(des.Time(c.at), topology.NodeID(u), topology.NodeID(v))
+		} else {
+			st.ensureFaults().ScheduleLinkUp(des.Time(c.at), topology.NodeID(u), topology.NodeID(v))
+		}
+	case "node-down", "node-up":
+		v, err := node()
+		if err != nil {
+			return err
+		}
+		if c.sub == "node-down" {
+			st.ensureFaults().ScheduleNodeDown(des.Time(c.at), v)
+		} else {
+			st.ensureFaults().ScheduleNodeUp(des.Time(c.at), v)
+		}
 	default:
 		return fmt.Errorf("line %d: unknown event %q", c.line, c.sub)
 	}
@@ -413,9 +517,9 @@ func (st *state) execPrint(c command) error {
 	switch c.args[0] {
 	case "metrics":
 		m := st.net.Metrics
-		fmt.Fprintf(st.w, "t=%.3f data_overhead=%.1f proto_overhead=%.1f delivered=%d dropped=%d max_e2e=%.4f\n",
+		fmt.Fprintf(st.w, "t=%.3f data_overhead=%.1f proto_overhead=%.1f delivered=%d dropped=%d ctrl_drops=%d recoveries=%d max_e2e=%.4f\n",
 			float64(st.net.Now()), m.DataOverhead(), m.ProtocolOverhead(),
-			m.Delivered(), m.Dropped(), m.MaxEndToEndDelay())
+			m.Delivered(), m.Dropped(), m.DroppedControl(), m.Recoveries(), m.MaxEndToEndDelay())
 	case "tree":
 		if st.scmp == nil {
 			return fmt.Errorf("line %d: print tree requires the scmp protocol", c.line)

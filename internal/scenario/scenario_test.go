@@ -213,6 +213,60 @@ func TestScriptBandwidthErrors(t *testing.T) {
 	}
 }
 
+func TestScriptFaultEvents(t *testing.T) {
+	// A node crash strands the member; the restart re-reports it and the
+	// healing stack re-grafts, so the late send still reaches everyone.
+	out := runScript(t, `
+topology arpanet
+scale-delays 0.001
+protocol scmp mrouter=0 ack=0.05 retries=8 refresh=1
+faults seed=3
+at 0.0 join 5
+at 1.0 node-down 2
+at 2.0 node-up 2
+at 4.0 send 0
+run 8
+expect delivered
+print metrics
+`)
+	if !strings.Contains(out, "delivered=1") {
+		t.Fatalf("output: %q", out)
+	}
+}
+
+func TestScriptLossyFaultsHeal(t *testing.T) {
+	out := runScript(t, `
+topology random n=20 degree=4 seed=3
+scale-delays 0.001
+protocol scmp mrouter=0 ack=0.05 retries=8 refresh=1
+faults loss-control=1 until=2 seed=5
+at 0.0 join 5
+at 4.0 send 0 # the retransmit ladder escapes the window at t=3.15
+run 6
+expect delivered
+print metrics
+`)
+	if !strings.Contains(out, "ctrl_drops=") || strings.Contains(out, "ctrl_drops=0 ") {
+		t.Fatalf("total loss window left no control drops: %q", out)
+	}
+}
+
+func TestScriptFaultErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"faults before protocol": "topology arpanet\nfaults seed=1\nprotocol scmp",
+		"double faults":          "topology arpanet\nprotocol scmp\nfaults seed=1\nfaults seed=2",
+		"faults after event":     "topology arpanet\nprotocol scmp\nat 0 node-down 2\nfaults seed=1",
+		"loss out of range":      "topology arpanet\nprotocol scmp\nfaults loss-control=1.5",
+		"link-down one arg":      "topology arpanet\nprotocol scmp\nat 0 link-down 2",
+		"link-down non-edge":     "topology arpanet\nprotocol scmp\nat 0 link-down 0 99",
+		"node-down bad node":     "topology arpanet\nprotocol scmp\nat 0 node-down 99",
+	} {
+		if err := parse(t, src).Run(&bytes.Buffer{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestExpectDeliveredFails(t *testing.T) {
 	// A send with no members delivers vacuously; force a failure by
 	// sending while the join is still propagating with huge delays.

@@ -41,8 +41,19 @@ func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
+// AvoidFunc reports whether the directed link u->v is unusable (down,
+// or touching a failed node). A nil AvoidFunc means every link is up.
+type AvoidFunc func(u, v NodeID) bool
+
 // Shortest runs Dijkstra from src under the given weight.
 func Shortest(g *Graph, src NodeID, w Weight) *Paths {
+	return ShortestAvoid(g, src, w, nil)
+}
+
+// ShortestAvoid is Shortest over the subgraph that excludes links for
+// which avoid returns true — the routing view after fault injection
+// takes links or nodes down.
+func ShortestAvoid(g *Graph, src NodeID, w Weight, avoid AvoidFunc) *Paths {
 	n := g.N()
 	p := &Paths{
 		Src:    src,
@@ -71,6 +82,9 @@ func Shortest(g *Graph, src NodeID, w Weight) *Paths {
 		}
 		done[u] = true
 		for _, l := range g.adj[u] {
+			if avoid != nil && avoid(u, l.To) {
+				continue
+			}
 			d := p.Dist[u] + w(l)
 			if d < p.Dist[l.To] {
 				p.Dist[l.To] = d
@@ -117,9 +131,15 @@ type AllPairs []*Paths
 
 // NewAllPairs runs Dijkstra from every source.
 func NewAllPairs(g *Graph, w Weight) AllPairs {
+	return NewAllPairsAvoid(g, w, nil)
+}
+
+// NewAllPairsAvoid runs Dijkstra from every source over the subgraph
+// that excludes avoided links (see AvoidFunc).
+func NewAllPairsAvoid(g *Graph, w Weight, avoid AvoidFunc) AllPairs {
 	ap := make(AllPairs, g.N())
 	for u := 0; u < g.N(); u++ {
-		ap[u] = Shortest(g, NodeID(u), w)
+		ap[u] = ShortestAvoid(g, NodeID(u), w, avoid)
 	}
 	return ap
 }
@@ -129,10 +149,16 @@ func NewAllPairs(g *Graph, w Weight) AllPairs {
 // or -1 when v is u or unreachable. This is the "link state unicast
 // routing protocol" substrate the paper assumes every domain runs.
 func NextHop(g *Graph) [][]NodeID {
+	return NextHopAvoid(g, nil)
+}
+
+// NextHopAvoid is NextHop over the subgraph that excludes avoided links
+// — the unicast substrate reconverged after a topology change.
+func NextHopAvoid(g *Graph, avoid AvoidFunc) [][]NodeID {
 	n := g.N()
 	next := make([][]NodeID, n)
 	for u := 0; u < n; u++ {
-		sp := Shortest(g, NodeID(u), ByDelay)
+		sp := ShortestAvoid(g, NodeID(u), ByDelay, avoid)
 		row := make([]NodeID, n)
 		for v := 0; v < n; v++ {
 			row[v] = -1
