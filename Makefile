@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-invariants bench bench-quick smoke-parallel smoke-faults fmt
+.PHONY: all build lint test test-invariants bench bench-quick bench-routing smoke-parallel smoke-faults fmt
 
 all: lint test
 
@@ -33,6 +33,17 @@ bench:
 # Fast benchmark pass: just the serial-vs-parallel runner comparison.
 bench-quick:
 	$(GO) test -bench Fig89Parallelism -benchtime 1x -run '^$$' .
+
+# Routing-engine perf gate: single-source, all-pairs, next-hop and
+# fault-recompute benchmarks with allocation counts. The raw text
+# (BENCH_routing.txt) is benchstat-compatible; cmd/benchjson converts
+# it to BENCH_routing.json for the acceptance record. BENCHTIME=1x
+# gives the quick CI pass; the default 3x smooths single-run noise.
+BENCHTIME ?= 3x
+bench-routing:
+	{ $(GO) test -bench 'Shortest|AllPairs|NextHopTable' -benchtime $(BENCHTIME) -benchmem -run '^$$' ./internal/topology/ && \
+	  $(GO) test -bench FaultRecompute -benchtime $(BENCHTIME) -benchmem -run '^$$' . ; } | tee BENCH_routing.txt
+	$(GO) run ./cmd/benchjson < BENCH_routing.txt > BENCH_routing.json
 
 # End-to-end smoke of the parallel runner under the race detector: a
 # quick Fig. 7 sweep fanned over 4 workers.

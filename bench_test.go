@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"scmp/internal/core"
@@ -284,6 +285,72 @@ func BenchmarkMRouterLoad(b *testing.B) {
 	}
 	for _, p := range []int{1, 2, 4, 8} {
 		b.ReportMetric(results[p], fmt.Sprintf("maxwait_s_p%d", p))
+	}
+}
+
+// BenchmarkFaultRecompute measures the routing work a fault event
+// triggers: rebuilding the delay and cost path tables with a link
+// avoided. "eager" pays for all n sources up front (the historical
+// behaviour); "lazy" builds the table shell and then materialises only
+// the handful of rows a repair actually consults — the pattern
+// core/repair.go's refreshPathTables now follows. Serial and parallel
+// variants pin GOMAXPROCS to show the sharded eager build's scaling.
+func BenchmarkFaultRecompute(b *testing.B) {
+	wg, err := topology.Waxman(topology.DefaultWaxman(400), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := wg.Graph
+	// Avoid one real link, as a LinkDown fault would.
+	var au, av topology.NodeID = -1, -1
+	for u := 0; u < g.N() && au < 0; u++ {
+		for _, l := range g.Neighbors(topology.NodeID(u)) {
+			au, av = topology.NodeID(u), l.To
+			break
+		}
+	}
+	avoid := func(u, v topology.NodeID) bool {
+		return (u == au && v == av) || (u == av && v == au)
+	}
+	consulted := []topology.NodeID{0, 7, 42, 99, 123, 250, 311, 399}
+	eager := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := topology.NewAllPairsAvoid(g, topology.ByDelay, avoid)
+			c := topology.NewAllPairsAvoid(g, topology.ByCost, avoid)
+			for _, s := range consulted {
+				d.Row(s)
+				c.Row(s)
+			}
+		}
+	}
+	lazy := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := topology.NewLazyAllPairsAvoid(g, topology.ByDelay, avoid)
+			c := topology.NewLazyAllPairsAvoid(g, topology.ByCost, avoid)
+			for _, s := range consulted {
+				d.Row(s)
+				c.Row(s)
+			}
+		}
+	}
+	for _, v := range []struct {
+		name  string
+		procs int
+		fn    func(*testing.B)
+	}{
+		{"eager-serial", 1, eager},
+		{"eager-parallel", 4, eager},
+		{"lazy-serial", 1, lazy},
+		{"lazy-parallel", 4, lazy},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(v.procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ResetTimer()
+			v.fn(b)
+		})
 	}
 }
 

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array on stdout, one object per benchmark result
+// line. The raw text is the benchstat-compatible artefact; the JSON is
+// for dashboards and the BENCH_routing.json acceptance record.
+//
+//	go test -bench . -benchmem | tee BENCH.txt | benchjson > BENCH.json
+//
+// Each benchmark line becomes {"name", "iterations", "metrics": {unit:
+// value}}; context lines (goos/goarch/pkg/cpu) are folded into every
+// following object until the next context block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark output line, annotated with the context block
+// (goos/goarch/pkg/cpu) it appeared under.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var results []Result
+	ctx := map[string]string{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			ctx[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line, ctx); ok {
+				results = append(results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if results == nil {
+		results = []Result{}
+	}
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`
+// line. Fields after the iteration count come in (value, unit) pairs.
+func parseBench(line string, ctx map[string]string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       fields[0],
+		Pkg:        ctx["pkg"],
+		Goos:       ctx["goos"],
+		Goarch:     ctx["goarch"],
+		CPU:        ctx["cpu"],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -334,7 +334,7 @@ func (s *SCMP) regraftDeferred(g packet.GroupID, gs *groupState) bool {
 	home := s.home(g)
 	changed := false
 	for _, m := range topology.SortedNodes(gs.deferred) {
-		if !s.spDelay[home].Reachable(m) {
+		if !s.spDelay.Row(home).Reachable(m) {
 			continue
 		}
 		delete(gs.deferred, m)
@@ -365,8 +365,16 @@ func (s *SCMP) refreshPathTables() {
 	if f == nil {
 		return
 	}
-	s.spDelay = topology.NewAllPairsAvoid(s.net.G, topology.ByDelay, f.Avoid())
-	s.spCost = topology.NewAllPairsAvoid(s.net.G, topology.ByCost, f.Avoid())
+	// Lazy tables over a frozen fault snapshot: local repair typically
+	// re-grafts a few orphans, consulting only their rows and the
+	// m-router's, so the recompute cost scales with the repair, not
+	// with n. The snapshot (not the live Avoid view) keeps each row's
+	// content pinned to this fault event no matter when it is first
+	// read — the lazy-table invalidation rule is simply "new event,
+	// new table".
+	avoid := f.AvoidSnapshot()
+	s.spDelay = topology.NewLazyAllPairsAvoid(s.net.G, topology.ByDelay, avoid)
+	s.spCost = topology.NewLazyAllPairsAvoid(s.net.G, topology.ByCost, avoid)
 	for _, g := range s.sortedGroupIDs() {
 		s.groups[g].dcdm.SetAllPairs(s.spDelay, s.spCost)
 	}

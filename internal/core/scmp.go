@@ -139,8 +139,8 @@ type SCMP struct {
 	cfg     Config
 	homes   []topology.NodeID // the m-router(s) currently providing service
 	net     *netsim.Network
-	spDelay topology.AllPairs
-	spCost  topology.AllPairs
+	spDelay *topology.AllPairs
+	spCost  *topology.AllPairs
 	groups  map[packet.GroupID]*groupState
 	entries map[topology.NodeID]map[packet.GroupID]*entry
 	// replica is the standby's copy of the membership database, fed by
@@ -234,8 +234,11 @@ func (s *SCMP) Attach(n *netsim.Network) {
 		panic(fmt.Sprintf("core: standby %d out of range", s.cfg.Standby))
 	}
 	s.net = n
-	s.spDelay = topology.NewAllPairs(n.G, topology.ByDelay)
-	s.spCost = topology.NewAllPairs(n.G, topology.ByCost)
+	// Lazy tables: rows materialise the first time DCDM consults a
+	// source, so a domain serving small groups never pays the full
+	// n-Dijkstra build (row contents are identical to an eager build).
+	s.spDelay = topology.NewLazyAllPairs(n.G, topology.ByDelay)
+	s.spCost = topology.NewLazyAllPairs(n.G, topology.ByCost)
 	s.acct = session.NewManager(n.Sched, 0xE0000000, 1<<20)
 	s.service = newServiceCenter(n.Sched, des.Time(s.cfg.ServiceTime), s.cfg.Processors)
 }
@@ -429,7 +432,7 @@ func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
 	_ = s.acct.MemberJoined(g, member)
 	s.replicate(g, member, true)
 	delete(gs.deferred, member)
-	if member != s.home(g) && !s.spDelay[s.home(g)].Reachable(member) {
+	if member != s.home(g) && !s.spDelay.Row(s.home(g)).Reachable(member) {
 		// The member is partitioned away from the m-router right now:
 		// grafting would fail. Remember it; the refresh tick and every
 		// topology heal retry the graft.

@@ -51,8 +51,8 @@ type waxmanKey struct {
 // algorithms consume.
 type treeArtifact struct {
 	g       *topology.Graph
-	spDelay topology.AllPairs
-	spCost  topology.AllPairs
+	spDelay *topology.AllPairs
+	spCost  *topology.AllPairs
 }
 
 var waxmanArtifacts runner.Cache[waxmanKey, *treeArtifact]

@@ -162,7 +162,7 @@ func TestPropertyCBTBranchesFollowUnicastRoutes(t *testing.T) {
 				if !ok {
 					return false
 				}
-				if up != n.Next[at][core] {
+				if up != n.Next.Hop(at, core) {
 					return false
 				}
 				at = up

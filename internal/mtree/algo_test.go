@@ -96,7 +96,7 @@ func dreyfusWagner(g *topology.Graph, terminals []topology.NodeID) float64 {
 	}
 	for i, t := range terminals {
 		for v := 0; v < n; v++ {
-			dp[1<<uint(i)][v] = sp[t].Dist[v]
+			dp[1<<uint(i)][v] = sp.Row(t).Dist[v]
 		}
 	}
 	for S := 1; S < 1<<uint(k); S++ {
@@ -118,7 +118,7 @@ func dreyfusWagner(g *topology.Graph, terminals []topology.NodeID) float64 {
 		// Relax: route the merged tree to every other node.
 		for v := 0; v < n; v++ {
 			for u := 0; u < n; u++ {
-				if c := dp[S][u] + sp[u].Dist[v]; c < dp[S][v] {
+				if c := dp[S][u] + sp.Row(topology.NodeID(u)).Dist[v]; c < dp[S][v] {
 					dp[S][v] = c
 				}
 			}
@@ -179,7 +179,7 @@ func TestPropertySPTDelayOptimal(t *testing.T) {
 			return false
 		}
 		for _, m := range members {
-			if math.Abs(tr.Delay(m)-spDelay[0].Delay[m]) > 1e-9 {
+			if math.Abs(tr.Delay(m)-spDelay.Row(0).Delay[m]) > 1e-9 {
 				return false
 			}
 		}

@@ -29,9 +29,9 @@ type DCDM struct {
 	kappa   float64
 	absMax  float64 // optional absolute QoS budget; 0 = none
 	tree    *Tree
-	spDelay topology.AllPairs // P_sl tables, one per source
-	spCost  topology.AllPairs // P_lc tables, one per source
-	maxUL   float64           // longest unicast delay among current members
+	spDelay *topology.AllPairs // P_sl tables, one per source
+	spCost  *topology.AllPairs // P_lc tables, one per source
+	maxUL   float64            // longest unicast delay among current members
 }
 
 // JoinResult describes how a join changed the tree, which is what SCMP
@@ -77,7 +77,7 @@ type LeaveResult struct {
 // spDelay/spCost are optional precomputed all-pairs tables (pass nil to
 // compute them here); sharing them across instances makes the Fig. 7
 // sweep cheap.
-func NewDCDM(g *topology.Graph, root topology.NodeID, kappa float64, spDelay, spCost topology.AllPairs) *DCDM {
+func NewDCDM(g *topology.Graph, root topology.NodeID, kappa float64, spDelay, spCost *topology.AllPairs) *DCDM {
 	if kappa < 1 {
 		panic(fmt.Sprintf("mtree: DCDM kappa %g < 1 would reject every tree", kappa))
 	}
@@ -116,7 +116,7 @@ func (d *DCDM) Bound() float64 {
 // UnicastDelay returns ul(v): the shortest-path delay between v and the
 // m-router.
 func (d *DCDM) UnicastDelay(v topology.NodeID) float64 {
-	return d.spDelay[d.root].Delay[v]
+	return d.spDelay.Row(d.root).Delay[v]
 }
 
 // Join adds member router s to the group and updates the tree.
@@ -139,7 +139,7 @@ func (d *DCDM) Join(s topology.NodeID) JoinResult {
 		// shortest-delay path — no tree can serve it faster. Under the
 		// relative bound this also raises the bound; under an absolute
 		// QoS budget the member is flagged best-effort.
-		path = d.spDelay[d.root].To(s)
+		path = d.spDelay.Row(d.root).To(s)
 		res.BestEffort = d.absMax > 0
 	} else {
 		path = d.bestGraftPath(s, bound)
@@ -199,13 +199,13 @@ func (d *DCDM) bestGraftPath(s topology.NodeID, bound float64) []topology.NodeID
 		}
 	}
 	for _, v := range d.tree.Nodes() {
-		consider(v, d.spCost[s])  // P_lc(s, v)
-		consider(v, d.spDelay[s]) // P_sl(s, v)
+		consider(v, d.spCost.Row(s))  // P_lc(s, v)
+		consider(v, d.spDelay.Row(s)) // P_sl(s, v)
 	}
 	if best == nil {
 		// Guaranteed fallback: shortest-delay path to the root
 		// (ml = ul(s) <= bound whenever this branch is reached).
-		sp := d.spDelay[d.root]
+		sp := d.spDelay.Row(d.root)
 		return sp.To(s)
 	}
 	// best.sp paths run s -> v; reverse to graft-node-first order.
@@ -244,7 +244,7 @@ func (d *DCDM) DetachSubtree(v topology.NodeID) []topology.NodeID {
 // contribute an infinite unicast delay, which relaxes the relative
 // bound to +Inf for the duration of the partition (repair is
 // best-effort: connectivity first, delay discipline after the heal).
-func (d *DCDM) SetAllPairs(spDelay, spCost topology.AllPairs) {
+func (d *DCDM) SetAllPairs(spDelay, spCost *topology.AllPairs) {
 	d.spDelay = spDelay
 	d.spCost = spCost
 	d.recomputeMaxUL()

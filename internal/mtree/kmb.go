@@ -21,7 +21,7 @@ import (
 //
 // spCost may be nil (computed internally). The result is rooted at root
 // with all members marked.
-func KMB(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spCost topology.AllPairs) *Tree {
+func KMB(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spCost *topology.AllPairs) *Tree {
 	if spCost == nil {
 		spCost = topology.NewAllPairs(g, topology.ByCost)
 	}
@@ -44,7 +44,7 @@ func KMB(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spC
 	bestDist := make(map[topology.NodeID]float64, len(terminals))
 	bestFrom := make(map[topology.NodeID]topology.NodeID, len(terminals))
 	for _, t := range terminals[1:] {
-		bestDist[t] = spCost[root].Dist[t]
+		bestDist[t] = spCost.Row(root).Dist[t]
 		bestFrom[t] = root
 	}
 	var closureMST []cedge
@@ -73,7 +73,7 @@ func KMB(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spC
 			if inMST[t] {
 				continue
 			}
-			if d := spCost[pick].Dist[t]; d < bestDist[t] {
+			if d := spCost.Row(pick).Dist[t]; d < bestDist[t] {
 				bestDist[t], bestFrom[t] = d, pick
 			}
 		}
@@ -90,7 +90,7 @@ func KMB(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spC
 	subEdges := map[edge]bool{}
 	subNodes := map[topology.NodeID]bool{}
 	for _, ce := range closureMST {
-		path := spCost[ce.u].To(ce.v)
+		path := spCost.Row(ce.u).To(ce.v)
 		for i := 1; i < len(path); i++ {
 			subEdges[norm(path[i-1], path[i])] = true
 		}

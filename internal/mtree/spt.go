@@ -9,10 +9,10 @@ import "scmp/internal/topology"
 // member hangs off the root by its shortest-delay path).
 //
 // spDelay may be nil (computed internally).
-func SPT(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spDelay topology.AllPairs) *Tree {
+func SPT(g *topology.Graph, root topology.NodeID, members []topology.NodeID, spDelay *topology.AllPairs) *Tree {
 	var sp *topology.Paths
 	if spDelay != nil {
-		sp = spDelay[root]
+		sp = spDelay.Row(root)
 	} else {
 		sp = topology.Shortest(g, root, topology.ByDelay)
 	}

@@ -165,8 +165,34 @@ func (f *Faults) NodeIsDown(n topology.NodeID) bool { return f.downNodes[n] }
 
 // Avoid returns the routing mask the current fault state implies, for
 // protocols recomputing their own path tables (topology.ShortestAvoid).
+// The returned func is a live view: it tracks fault events applied
+// after this call. Eager recomputes (netsim's own RecomputeRoutes) want
+// exactly that; lazily materialised tables must use AvoidSnapshot
+// instead.
 func (f *Faults) Avoid() topology.AvoidFunc {
 	return func(u, v topology.NodeID) bool { return f.LinkIsDown(u, v) }
+}
+
+// AvoidSnapshot returns the routing mask frozen at the current fault
+// state. Rows of a lazy path table built over this snapshot reproduce
+// exactly what an eager rebuild at this instant would have computed,
+// no matter how many further fault events fire before a row is first
+// consulted. Returns nil when nothing is down (no mask needed).
+func (f *Faults) AvoidSnapshot() topology.AvoidFunc {
+	if len(f.downLinks) == 0 && len(f.downNodes) == 0 {
+		return nil
+	}
+	links := make(map[linkKey]bool, len(f.downLinks))
+	for k, v := range f.downLinks {
+		links[k] = v
+	}
+	nodes := make(map[topology.NodeID]bool, len(f.downNodes))
+	for k, v := range f.downNodes {
+		nodes[k] = v
+	}
+	return func(u, v topology.NodeID) bool {
+		return links[mkLinkKey(u, v)] || nodes[u] || nodes[v]
+	}
 }
 
 // lose draws the loss decision for one crossing of a kind-classed

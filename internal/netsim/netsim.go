@@ -64,7 +64,7 @@ type Network struct {
 	G       *topology.Graph
 	Sched   *des.Scheduler
 	Metrics *metrics.Collector
-	Next    [][]topology.NodeID // unicast next hops by shortest delay
+	Next    *topology.NextHopTable // unicast next hops by shortest delay, flat n*n
 	Proto   Protocol
 
 	seq        uint64
@@ -213,7 +213,7 @@ func (n *Network) SendUnicast(src topology.NodeID, pkt *Packet) {
 }
 
 func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
-	nh := n.Next[at][pkt.Dst]
+	nh := n.Next.Hop(at, pkt.Dst)
 	if nh == -1 {
 		// With faults installed a partition is a legitimate runtime
 		// state: the packet dies here and the drop is accounted.
@@ -251,7 +251,7 @@ func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
 func (n *Network) UnicastPath(src, dst topology.NodeID) []topology.NodeID {
 	path := []topology.NodeID{src}
 	for at := src; at != dst; {
-		nh := n.Next[at][dst]
+		nh := n.Next.Hop(at, dst)
 		if nh == -1 {
 			return nil
 		}

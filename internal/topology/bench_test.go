@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Routing-engine benchmarks (the perf gate for the CSR/4-ary-heap
+// rewrite). Run with allocation counting via:
+//
+//	make bench-routing
+//
+// BenchmarkShortest compares the preserved container/heap reference
+// against the fast engine, fresh-allocating and buffer-reusing;
+// BenchmarkAllPairs compares a reference loop, the eager table at
+// GOMAXPROCS 1 and 4, and lazy row materialisation.
+
+// benchGraph is the 400-node Waxman instance the acceptance criteria
+// are measured on.
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	wg, err := Waxman(DefaultWaxman(400), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wg.Graph
+}
+
+func BenchmarkShortest(b *testing.B) {
+	g := benchGraph(b)
+	g.CSR() // build outside the timed region; all variants share it
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			shortestRef(g, NodeID(i%g.N()), ByDelay, nil)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Shortest(g, NodeID(i%g.N()), ByDelay)
+		}
+	})
+	b.Run("engine-reuse", func(b *testing.B) {
+		e := NewEngine(g)
+		var row Paths
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.ShortestInto(&row, NodeID(i%g.N()), ByDelay, nil)
+		}
+	})
+}
+
+func BenchmarkAllPairs(b *testing.B) {
+	g := benchGraph(b)
+	g.CSR()
+	b.Run("ref-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < g.N(); u++ {
+				shortestRef(g, NodeID(u), ByDelay, nil)
+			}
+		}
+	})
+	b.Run("eager-serial", func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			NewAllPairs(g, ByDelay)
+		}
+	})
+	b.Run("eager-parallel", func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			NewAllPairs(g, ByDelay)
+		}
+	})
+	// Lazy pays only for consulted rows: the typical fault-recompute
+	// pattern touches a handful of sources, not all n.
+	b.Run("lazy-16rows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ap := NewLazyAllPairs(g, ByDelay)
+			for u := 0; u < 16; u++ {
+				ap.Row(NodeID(u))
+			}
+		}
+	})
+}
+
+func BenchmarkNextHopTable(b *testing.B) {
+	g := benchGraph(b)
+	g.CSR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NextHop(g)
+	}
+}

@@ -1,0 +1,69 @@
+package topology
+
+// CSR is the compressed-sparse-row view of a Graph: every directed link
+// (both directions of each undirected edge) flattened into parallel
+// arrays, neighbours of node u occupying dst[off[u]:off[u+1]] in the
+// same order as the Graph's adjacency lists. The per-weight arrays are
+// precomputed once per graph, so the Dijkstra inner loop is pure array
+// arithmetic: no closure calls, no Link struct loads, no slice-of-slice
+// pointer chasing.
+//
+// A CSR is immutable after construction and shared freely across
+// goroutines.
+type CSR struct {
+	off   []int32   // len N+1; off[u]..off[u+1] bounds u's out-links
+	dst   []NodeID  // len 2M; link targets
+	delay []float64 // len 2M; ByDelay weight array (also the delay accumulator input)
+	cost  []float64 // len 2M; ByCost weight array (also the cost accumulator input)
+}
+
+// N returns the node count.
+func (c *CSR) N() int { return len(c.off) - 1 }
+
+// weights returns the flat edge-weight array the given Weight selects.
+func (c *CSR) weights(w Weight) []float64 {
+	if w == ByCost {
+		return c.cost
+	}
+	return c.delay
+}
+
+// buildCSR flattens g. Adjacency order is preserved per node, so any
+// code sensitive to neighbour scan order behaves exactly as it does on
+// the slice-of-slice representation.
+func buildCSR(g *Graph) *CSR {
+	n := g.N()
+	c := &CSR{
+		off:   make([]int32, n+1),
+		dst:   make([]NodeID, 0, 2*g.M()),
+		delay: make([]float64, 0, 2*g.M()),
+		cost:  make([]float64, 0, 2*g.M()),
+	}
+	for u := 0; u < n; u++ {
+		c.off[u] = int32(len(c.dst))
+		for _, l := range g.adj[u] {
+			c.dst = append(c.dst, l.To)
+			c.delay = append(c.delay, l.Delay)
+			c.cost = append(c.cost, l.Cost)
+		}
+	}
+	c.off[n] = int32(len(c.dst))
+	return c
+}
+
+// CSR returns the graph's flattened view, building and caching it on
+// first use. The cache is invalidated by AddEdge, so graphs that are
+// still being constructed pay nothing; once a graph goes read-only (the
+// universal pattern here — generators build, everything else reads) the
+// build cost is paid exactly once. Concurrent first calls may both
+// build; the results are identical and one wins the publish race.
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	if g.csr.CompareAndSwap(nil, c) {
+		return c
+	}
+	return g.csr.Load()
+}

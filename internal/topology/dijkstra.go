@@ -1,20 +1,43 @@
 package topology
 
 import (
-	"container/heap"
 	"math"
+	"sync/atomic"
+
+	"scmp/internal/runner"
 )
 
 // Weight selects which link attribute a shortest-path computation
-// minimises.
-type Weight func(Link) float64
+// minimises. It is an index into the CSR graph's precomputed per-weight
+// edge arrays, so the Dijkstra inner loop reads a flat float64 slice
+// instead of calling a closure per edge.
+type Weight uint8
 
-// ByDelay weights links by delay; shortest-delay paths are the paper's
-// P_sl ("shortest delay path").
-func ByDelay(l Link) float64 { return l.Delay }
+const (
+	// ByDelay weights links by delay; shortest-delay paths are the
+	// paper's P_sl ("shortest delay path").
+	ByDelay Weight = iota
+	// ByCost weights links by cost; least-cost paths are the paper's
+	// P_lc.
+	ByCost
+)
 
-// ByCost weights links by cost; least-cost paths are the paper's P_lc.
-func ByCost(l Link) float64 { return l.Cost }
+// Of evaluates the weight on one link (the closure-free equivalent of
+// the old func(Link) float64 API).
+func (w Weight) Of(l Link) float64 {
+	if w == ByCost {
+		return l.Cost
+	}
+	return l.Delay
+}
+
+// String names the weight for reports and test failures.
+func (w Weight) String() string {
+	if w == ByCost {
+		return "cost"
+	}
+	return "delay"
+}
 
 // Paths holds the single-source shortest-path tree from Src under some
 // weight, plus the path delay and cost accumulated along those paths
@@ -28,19 +51,6 @@ type Paths struct {
 	Parent []NodeID  // predecessor on the chosen path; -1 for Src/unreachable
 }
 
-type pqItem struct {
-	node NodeID
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
-
 // AvoidFunc reports whether the directed link u->v is unusable (down,
 // or touching a failed node). A nil AvoidFunc means every link is up.
 type AvoidFunc func(u, v NodeID) bool
@@ -52,72 +62,37 @@ func Shortest(g *Graph, src NodeID, w Weight) *Paths {
 
 // ShortestAvoid is Shortest over the subgraph that excludes links for
 // which avoid returns true — the routing view after fault injection
-// takes links or nodes down.
+// takes links or nodes down. It runs on the fast CSR engine; results are
+// the canonical shortest-path tree (see Engine for the tie-break
+// ladder that makes "canonical" well defined).
 func ShortestAvoid(g *Graph, src NodeID, w Weight, avoid AvoidFunc) *Paths {
-	n := g.N()
-	p := &Paths{
-		Src:    src,
-		Dist:   make([]float64, n),
-		Delay:  make([]float64, n),
-		Cost:   make([]float64, n),
-		Parent: make([]NodeID, n),
-	}
-	for i := range p.Dist {
-		p.Dist[i] = math.Inf(1)
-		p.Delay[i] = math.Inf(1)
-		p.Cost[i] = math.Inf(1)
-		p.Parent[i] = -1
-	}
-	if n == 0 || !g.valid(src) {
-		return p
-	}
-	p.Dist[src], p.Delay[src], p.Cost[src] = 0, 0, 0
-	done := make([]bool, n)
-	q := pq{{src, 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		for _, l := range g.adj[u] {
-			if avoid != nil && avoid(u, l.To) {
-				continue
-			}
-			d := p.Dist[u] + w(l)
-			if d < p.Dist[l.To] {
-				p.Dist[l.To] = d
-				p.Delay[l.To] = p.Delay[u] + l.Delay
-				p.Cost[l.To] = p.Cost[u] + l.Cost
-				p.Parent[l.To] = u
-				heap.Push(&q, pqItem{l.To, d})
-			}
-		}
-	}
-	return p
+	e := Engine{csr: g.CSR()}
+	return e.ShortestAvoid(src, w, avoid)
 }
 
 // To reconstructs the path Src -> dst as a node sequence including both
-// endpoints. It returns nil if dst is unreachable.
+// endpoints. It returns nil if dst is unreachable. The slice is
+// allocated exactly once at the final length and filled back-to-front.
 func (p *Paths) To(dst NodeID) []NodeID {
 	if int(dst) >= len(p.Dist) || math.IsInf(p.Dist[dst], 1) {
 		return nil
 	}
-	var rev []NodeID
-	for v := dst; v != -1; v = p.Parent[v] {
-		rev = append(rev, v)
+	hops := 1
+	for v := dst; v != p.Src; {
+		par := p.Parent[v]
+		if par == -1 {
+			return nil // parent chain broken before reaching Src
+		}
+		hops++
+		v = par
+	}
+	path := make([]NodeID, hops)
+	for v, i := dst, hops-1; ; v, i = p.Parent[v], i-1 {
+		path[i] = v
 		if v == p.Src {
-			break
+			return path
 		}
 	}
-	if rev[len(rev)-1] != p.Src {
-		return nil
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
 }
 
 // Reachable reports whether dst is reachable from Src.
@@ -125,56 +100,114 @@ func (p *Paths) Reachable(dst NodeID) bool {
 	return int(dst) < len(p.Dist) && !math.IsInf(p.Dist[dst], 1)
 }
 
-// AllPairs precomputes Shortest from every node under the given weight.
-// Index by source node.
-type AllPairs []*Paths
+// AllPairs is a table of single-source shortest-path rows, one per
+// source node. Rows are either built up front — sharded over the
+// deterministic worker pool, each source row being an independent
+// Dijkstra — or materialised lazily on first access (NewLazyAllPairs),
+// which is how fault-driven recomputes that only consult a handful of
+// sources stop paying a full n-Dijkstra rebuild.
+//
+// Row contents are identical in every mode: the engine's tie-break
+// ladder makes each row a pure function of (graph, weight, avoid), so
+// eager, lazy and any parallel width produce byte-identical tables.
+// AllPairs is safe for concurrent readers; lazy rows are published with
+// a compare-and-swap, and a lost race just discards one identical row.
+type AllPairs struct {
+	g     *Graph
+	w     Weight
+	avoid AvoidFunc
+	rows  []atomic.Pointer[Paths]
+}
 
-// NewAllPairs runs Dijkstra from every source.
-func NewAllPairs(g *Graph, w Weight) AllPairs {
+// allPairsChunk is how many consecutive source rows one worker computes
+// per job: big enough to amortise engine scratch setup, small enough to
+// load-balance a 400-node build over 8 workers.
+const allPairsChunk = 16
+
+// NewAllPairs precomputes Shortest from every node under the given
+// weight, sharding sources over the worker pool.
+func NewAllPairs(g *Graph, w Weight) *AllPairs {
 	return NewAllPairsAvoid(g, w, nil)
 }
 
-// NewAllPairsAvoid runs Dijkstra from every source over the subgraph
-// that excludes avoided links (see AvoidFunc).
-func NewAllPairsAvoid(g *Graph, w Weight, avoid AvoidFunc) AllPairs {
-	ap := make(AllPairs, g.N())
-	for u := 0; u < g.N(); u++ {
-		ap[u] = ShortestAvoid(g, NodeID(u), w, avoid)
+// NewAllPairsAvoid is NewAllPairs over the subgraph that excludes
+// avoided links (see AvoidFunc).
+func NewAllPairsAvoid(g *Graph, w Weight, avoid AvoidFunc) *AllPairs {
+	ap := newAllPairsTable(g, w, avoid)
+	n := g.N()
+	chunks := (n + allPairsChunk - 1) / allPairsChunk
+	if chunks <= 1 {
+		e := NewEngine(g)
+		for u := 0; u < n; u++ {
+			ap.rows[u].Store(e.ShortestAvoid(NodeID(u), w, avoid))
+		}
+		return ap
 	}
+	// Each chunk owns a disjoint row range, so workers never write the
+	// same slot; one engine per chunk reuses its scratch across sources.
+	runner.Map(runner.Options{}, chunks, func(ci int) struct{} {
+		e := NewEngine(g)
+		lo := ci * allPairsChunk
+		hi := lo + allPairsChunk
+		if hi > n {
+			hi = n
+		}
+		for u := lo; u < hi; u++ {
+			ap.rows[u].Store(e.ShortestAvoid(NodeID(u), w, avoid))
+		}
+		return struct{}{}
+	})
 	return ap
 }
 
-// NextHop computes the unicast forwarding table implied by shortest-delay
-// routing: next[u][v] is the first hop on u's shortest-delay path to v,
-// or -1 when v is u or unreachable. This is the "link state unicast
-// routing protocol" substrate the paper assumes every domain runs.
-func NextHop(g *Graph) [][]NodeID {
-	return NextHopAvoid(g, nil)
+// NewLazyAllPairs returns an AllPairs whose rows are computed on first
+// access and memoised. Use it when only a few sources will be
+// consulted — m-router path tables serving small groups, fault-repair
+// re-grafts — and the full table would mostly go unread.
+func NewLazyAllPairs(g *Graph, w Weight) *AllPairs {
+	return NewLazyAllPairsAvoid(g, w, nil)
 }
 
-// NextHopAvoid is NextHop over the subgraph that excludes avoided links
-// — the unicast substrate reconverged after a topology change.
-func NextHopAvoid(g *Graph, avoid AvoidFunc) [][]NodeID {
-	n := g.N()
-	next := make([][]NodeID, n)
-	for u := 0; u < n; u++ {
-		sp := ShortestAvoid(g, NodeID(u), ByDelay, avoid)
-		row := make([]NodeID, n)
-		for v := 0; v < n; v++ {
-			row[v] = -1
-			if v == u || !sp.Reachable(NodeID(v)) {
-				continue
-			}
-			// Walk back from v to the node whose parent is u.
-			w := NodeID(v)
-			for sp.Parent[w] != NodeID(u) {
-				w = sp.Parent[w]
-			}
-			row[v] = w
-		}
-		next[u] = row
+// NewLazyAllPairsAvoid is NewLazyAllPairs with an avoid mask. The mask
+// must be frozen by the caller (see netsim's Faults.AvoidSnapshot):
+// a live mask would make a row's content depend on when it is first
+// read instead of when the table was created.
+func NewLazyAllPairsAvoid(g *Graph, w Weight, avoid AvoidFunc) *AllPairs {
+	return newAllPairsTable(g, w, avoid)
+}
+
+func newAllPairsTable(g *Graph, w Weight, avoid AvoidFunc) *AllPairs {
+	return &AllPairs{g: g, w: w, avoid: avoid, rows: make([]atomic.Pointer[Paths], g.N())}
+}
+
+// N returns the number of source rows (the graph's node count).
+func (ap *AllPairs) N() int { return len(ap.rows) }
+
+// Row returns the shortest-path row from src, computing and memoising
+// it on first access in lazy mode.
+func (ap *AllPairs) Row(src NodeID) *Paths {
+	if r := ap.rows[src].Load(); r != nil {
+		return r
 	}
-	return next
+	e := Engine{csr: ap.g.CSR()}
+	r := e.ShortestAvoid(src, ap.w, ap.avoid)
+	if ap.rows[src].CompareAndSwap(nil, r) {
+		return r
+	}
+	return ap.rows[src].Load()
+}
+
+// Materialized reports how many rows have been computed so far — n for
+// eager tables, the consulted-source count for lazy ones (capacity
+// accounting and the lazy-mode tests).
+func (ap *AllPairs) Materialized() int {
+	m := 0
+	for i := range ap.rows {
+		if ap.rows[i].Load() != nil {
+			m++
+		}
+	}
+	return m
 }
 
 // PathDelay sums link delays along a node sequence; it panics if the

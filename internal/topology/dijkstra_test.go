@@ -82,7 +82,7 @@ func bellmanFord(g *Graph, src NodeID, w Weight) []float64 {
 				continue
 			}
 			for _, l := range g.Neighbors(NodeID(u)) {
-				if d := dist[u] + w(l); d < dist[l.To] {
+				if d := dist[u] + w.Of(l); d < dist[l.To] {
 					dist[l.To] = d
 					changed = true
 				}
@@ -162,8 +162,8 @@ func TestNextHopConsistent(t *testing.T) {
 	for u := 0; u < g.N(); u++ {
 		for v := 0; v < g.N(); v++ {
 			if u == v {
-				if next[u][v] != -1 {
-					t.Fatalf("next[%d][%d] = %d, want -1", u, v, next[u][v])
+				if next.Hop(NodeID(u), NodeID(v)) != -1 {
+					t.Fatalf("next[%d][%d] = %d, want -1", u, v, next.Hop(NodeID(u), NodeID(v)))
 				}
 				continue
 			}
@@ -173,7 +173,7 @@ func TestNextHopConsistent(t *testing.T) {
 				if hops > g.N() {
 					t.Fatalf("next-hop loop from %d to %d", u, v)
 				}
-				nh := next[cur][v]
+				nh := next.Hop(cur, NodeID(v))
 				l, ok := g.Edge(cur, nh)
 				if !ok {
 					t.Fatalf("next hop %d->%d not adjacent to %d", cur, nh, cur)
@@ -181,8 +181,8 @@ func TestNextHopConsistent(t *testing.T) {
 				delay += l.Delay
 				cur = nh
 			}
-			if math.Abs(delay-ap[u].Delay[v]) > 1e-9 {
-				t.Fatalf("next-hop delay %d->%d = %g, want %g", u, v, delay, ap[u].Delay[v])
+			if math.Abs(delay-ap.Row(NodeID(u)).Delay[v]) > 1e-9 {
+				t.Fatalf("next-hop delay %d->%d = %g, want %g", u, v, delay, ap.Row(NodeID(u)).Delay[v])
 			}
 		}
 	}

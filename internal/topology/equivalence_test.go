@@ -1,0 +1,263 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// This file is the differential-equivalence gate for the fast routing
+// engine: on every tested topology family, with and without avoid
+// masks, the CSR/4-ary-heap engine must produce EXACTLY the same
+// Dist/Delay/Cost/Parent rows and next-hop tables as the preserved
+// container/heap reference (ref.go). Exact float equality is
+// intentional — both implementations accumulate delay and cost in the
+// same parent-chain order, so agreement is bit-for-bit, and any drift
+// is a real behaviour change, not representation noise.
+
+// equivGraphs builds the test topologies: random Waxman instances,
+// transit-stub hierarchies, flat random graphs, the fixed ARPANET map,
+// and degenerate shapes (empty, single node, disconnected).
+func equivGraphs(t testing.TB) map[string]*Graph {
+	graphs := map[string]*Graph{
+		"arpanet": Arpanet(),
+		"empty":   New(0),
+		"single":  New(1),
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		wg, err := Waxman(DefaultWaxman(60), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("waxman seed %d: %v", seed, err)
+		}
+		graphs[fmt.Sprintf("waxman%d", seed)] = wg.Graph
+
+		rg, err := Random(DefaultRandom(40, 3.5), rand.New(rand.NewSource(seed+100)))
+		if err != nil {
+			t.Fatalf("random seed %d: %v", seed, err)
+		}
+		graphs[fmt.Sprintf("rand%d", seed)] = rg
+	}
+	ts, _, err := TransitStub(DefaultTransitStub(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("transit-stub: %v", err)
+	}
+	graphs["transitstub"] = ts
+
+	// Disconnected: two components, so unreachable rows are exercised.
+	dg := New(6)
+	dg.MustAddEdge(0, 1, 1.5, 2.5)
+	dg.MustAddEdge(1, 2, 2.5, 1.5)
+	dg.MustAddEdge(3, 4, 1.25, 3.5)
+	dg.MustAddEdge(4, 5, 3.5, 1.25)
+	graphs["disconnected"] = dg
+	return graphs
+}
+
+// equivAvoids builds the avoid masks to test under: none, a random
+// subset of links down, and a node-down mask (every link touching the
+// node refused) — the two shapes fault injection produces.
+func equivAvoids(g *Graph, seed int64) map[string]AvoidFunc {
+	avoids := map[string]AvoidFunc{"none": nil}
+	if g.N() < 4 {
+		return avoids
+	}
+	rng := rand.New(rand.NewSource(seed))
+	down := map[[2]NodeID]bool{}
+	for u := 0; u < g.N(); u++ {
+		for _, l := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < l.To && rng.Float64() < 0.15 {
+				down[[2]NodeID{NodeID(u), l.To}] = true
+			}
+		}
+	}
+	avoids["links-down"] = func(u, v NodeID) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return down[[2]NodeID{u, v}]
+	}
+	crashed := NodeID(rng.Intn(g.N()))
+	avoids["node-down"] = func(u, v NodeID) bool { return u == crashed || v == crashed }
+	return avoids
+}
+
+// samePaths fails the test unless a and b agree exactly on every field.
+func samePaths(t *testing.T, label string, a, b *Paths) {
+	t.Helper()
+	if a.Src != b.Src || len(a.Dist) != len(b.Dist) {
+		t.Fatalf("%s: shape mismatch src %d/%d len %d/%d", label, a.Src, b.Src, len(a.Dist), len(b.Dist))
+	}
+	for v := range a.Dist {
+		// Exact comparison, Inf==Inf included: both sides must pick the
+		// same parent chain and therefore the same sums. (NaN never
+		// occurs: weights are finite and positive.)
+		if a.Dist[v] != b.Dist[v] || a.Delay[v] != b.Delay[v] ||
+			a.Cost[v] != b.Cost[v] || a.Parent[v] != b.Parent[v] {
+			t.Fatalf("%s: node %d differs: dist %v/%v delay %v/%v cost %v/%v parent %d/%d",
+				label, v, a.Dist[v], b.Dist[v], a.Delay[v], b.Delay[v],
+				a.Cost[v], b.Cost[v], a.Parent[v], b.Parent[v])
+		}
+	}
+}
+
+// TestEquivalenceEngineVsReference is the main differential gate: fast
+// engine vs container/heap reference, every topology family, every
+// source, both weights, all avoid masks.
+func TestEquivalenceEngineVsReference(t *testing.T) {
+	for name, g := range equivGraphs(t) {
+		for avoidName, avoid := range equivAvoids(g, 42) {
+			for _, w := range []Weight{ByDelay, ByCost} {
+				e := NewEngine(g)
+				for src := 0; src < g.N(); src++ {
+					fast := e.ShortestAvoid(NodeID(src), w, avoid)
+					ref := shortestRef(g, NodeID(src), w, avoid)
+					label := fmt.Sprintf("%s/%s/%s/src%d", name, avoidName, w, src)
+					samePaths(t, label, fast, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceAllPairsModes checks that the eager (parallel), lazy,
+// and forced-serial all-pairs builds return identical rows — the
+// deterministic-merge claim for the sharded table.
+func TestEquivalenceAllPairsModes(t *testing.T) {
+	for name, g := range equivGraphs(t) {
+		for avoidName, avoid := range equivAvoids(g, 7) {
+			for _, w := range []Weight{ByDelay, ByCost} {
+				serial := func() *AllPairs {
+					prev := runtime.GOMAXPROCS(1)
+					defer runtime.GOMAXPROCS(prev)
+					return NewAllPairsAvoid(g, w, avoid)
+				}()
+				parallel := func() *AllPairs {
+					prev := runtime.GOMAXPROCS(4)
+					defer runtime.GOMAXPROCS(prev)
+					return NewAllPairsAvoid(g, w, avoid)
+				}()
+				lazy := NewLazyAllPairsAvoid(g, w, avoid)
+				for src := 0; src < g.N(); src++ {
+					label := fmt.Sprintf("%s/%s/%s/src%d", name, avoidName, w, src)
+					samePaths(t, label+"/serial-vs-parallel", serial.Row(NodeID(src)), parallel.Row(NodeID(src)))
+					samePaths(t, label+"/eager-vs-lazy", serial.Row(NodeID(src)), lazy.Row(NodeID(src)))
+				}
+				if got := lazy.Materialized(); got != g.N() {
+					t.Fatalf("%s: lazy table materialised %d of %d rows after full scan", name, got, g.N())
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceNextHop checks the flat parallel next-hop table
+// against rows derived from the reference Dijkstra by the historical
+// per-destination parent walk.
+func TestEquivalenceNextHop(t *testing.T) {
+	for name, g := range equivGraphs(t) {
+		for avoidName, avoid := range equivAvoids(g, 13) {
+			table := NextHopAvoid(g, avoid)
+			if table.N() != g.N() {
+				t.Fatalf("%s: table size %d, want %d", name, table.N(), g.N())
+			}
+			for u := 0; u < g.N(); u++ {
+				ref := nextHopRowRef(shortestRef(g, NodeID(u), ByDelay, avoid), NodeID(u), g.N())
+				for v := 0; v < g.N(); v++ {
+					if got := table.Hop(NodeID(u), NodeID(v)); got != ref[v] {
+						t.Fatalf("%s/%s: hop(%d,%d) = %d, want %d", name, avoidName, u, v, got, ref[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLazyAllPairsComputesOnlyConsultedRows pins the lazy table's
+// central property: consulting k sources materialises exactly k rows.
+func TestLazyAllPairsComputesOnlyConsultedRows(t *testing.T) {
+	wg, err := Waxman(DefaultWaxman(50), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := NewLazyAllPairs(wg.Graph, ByDelay)
+	if got := ap.Materialized(); got != 0 {
+		t.Fatalf("fresh lazy table has %d rows materialised", got)
+	}
+	for _, src := range []NodeID{0, 7, 7, 21} {
+		ap.Row(src)
+	}
+	if got := ap.Materialized(); got != 3 {
+		t.Fatalf("after consulting 3 distinct sources: %d rows materialised, want 3", got)
+	}
+}
+
+// TestPropertyEngineEquivalenceFuzz is the randomized property check:
+// arbitrary connected-or-not random graphs, random weights, random
+// avoid masks, random sources — fast engine must equal the reference
+// exactly on all of them.
+func TestPropertyEngineEquivalenceFuzz(t *testing.T) {
+	iters := 150
+	if testing.Short() {
+		iters = 30
+	}
+	for seed := int64(0); seed < int64(iters); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		// Random edge set with random positive weights; occasionally
+		// duplicate weight values to push on the tie-break ladder.
+		weights := []float64{0.5, 1, 1, 2, 2.5, 4}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					var d, c float64
+					if rng.Float64() < 0.5 {
+						// Small discrete weight pool: exact float ties
+						// between alternative paths become likely.
+						d = weights[rng.Intn(len(weights))]
+						c = weights[rng.Intn(len(weights))]
+					} else {
+						d = 0.1 + rng.Float64()*10
+						c = 0.1 + rng.Float64()*10
+					}
+					g.MustAddEdge(NodeID(u), NodeID(v), d, c)
+				}
+			}
+		}
+		var avoid AvoidFunc
+		if rng.Float64() < 0.5 {
+			mask := rng.Int63()
+			avoid = func(u, v NodeID) bool {
+				if u > v {
+					u, v = v, u
+				}
+				return mask>>(uint(u*7+v)%63)&1 == 1
+			}
+		}
+		w := Weight(rng.Intn(2))
+		src := NodeID(rng.Intn(n))
+		fast := ShortestAvoid(g, src, w, avoid)
+		ref := shortestRef(g, src, w, avoid)
+		samePaths(t, fmt.Sprintf("fuzz seed %d (n=%d, w=%s)", seed, n, w), fast, ref)
+	}
+}
+
+// TestEngineScratchReuseIsClean runs many sources through one engine
+// and one reused Paths row, checking against fresh computations — the
+// scratch buffers must not leak state between runs.
+func TestEngineScratchReuseIsClean(t *testing.T) {
+	wg, err := Waxman(DefaultWaxman(45), rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := wg.Graph
+	e := NewEngine(g)
+	var row Paths
+	for src := 0; src < g.N(); src++ {
+		w := Weight(src % 2)
+		e.ShortestInto(&row, NodeID(src), w, nil)
+		fresh := shortestRef(g, NodeID(src), w, nil)
+		samePaths(t, fmt.Sprintf("reuse src %d", src), &row, fresh)
+	}
+}

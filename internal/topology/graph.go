@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a router in the graph. IDs are dense: 0..N-1.
@@ -30,6 +31,10 @@ type Link struct {
 type Graph struct {
 	adj [][]Link
 	m   int // number of undirected edges
+
+	// csr caches the flattened CSR view built on first routing use;
+	// AddEdge invalidates it (see CSR in csr.go).
+	csr atomic.Pointer[CSR]
 }
 
 // New returns a graph with n nodes and no edges.
@@ -66,6 +71,7 @@ func (g *Graph) AddEdge(u, v NodeID, delay, cost float64) error {
 	g.adj[u] = append(g.adj[u], Link{To: v, Delay: delay, Cost: cost})
 	g.adj[v] = append(g.adj[v], Link{To: u, Delay: delay, Cost: cost})
 	g.m++
+	g.csr.Store(nil) // adjacency changed: drop the cached CSR view
 	return nil
 }
 
@@ -175,8 +181,10 @@ func (g *Graph) Components() [][]NodeID {
 func (g *Graph) Diameter() (float64, NodeID, NodeID) {
 	best := 0.0
 	var bu, bv NodeID
+	e := NewEngine(g)
+	var sp Paths
 	for u := 0; u < g.N(); u++ {
-		sp := Shortest(g, NodeID(u), ByDelay)
+		e.ShortestInto(&sp, NodeID(u), ByDelay, nil)
 		for v := 0; v < g.N(); v++ {
 			if d := sp.Dist[v]; !math.IsInf(d, 1) && d > best {
 				best, bu, bv = d, NodeID(u), NodeID(v)

@@ -1,0 +1,124 @@
+package topology
+
+// nodeHeap is an indexed 4-ary min-heap specialised to (node, dist)
+// pairs — the boxing-free replacement for container/heap in the
+// Dijkstra hot loop. container/heap costs an interface allocation per
+// Push (the pqItem escapes into an `any`) plus dynamic dispatch per
+// Less/Swap; this heap is a flat slice of 16-byte structs with inlined
+// comparisons. The 4-ary shape halves the tree depth of a binary heap,
+// trading slightly wider sift-down scans (cache-friendly: all four
+// children share a cache line) for fewer levels per percolation.
+//
+// The heap is *indexed*: pos tracks each node's slot, so a relaxation
+// that improves an already-queued node decreases its key in place
+// instead of pushing a duplicate. On dense graphs that keeps the heap
+// at most |V| entries where lazy deletion would grow it toward |E| —
+// pop cost drops with the log of that ratio, and the done-check on pop
+// becomes vestigial (each node is popped at most once).
+//
+// Ordering is the explicit tie-break ladder (dist, then node id):
+// strictly smaller dist wins, and an exact dist tie is broken by the
+// lower node id. Exact float ties between independently summed path
+// lengths are representation-dependent, so the ladder never decides
+// them implicitly by heap layout — pop order is a pure function of the
+// set of queued (node, key) pairs.
+type heapItem struct {
+	node NodeID
+	dist float64
+}
+
+// heapLess is the (dist, node) ladder. Written as two strict
+// comparisons — never float equality — so NaNs sink and exact ties fall
+// through to the id comparison.
+func heapLess(a, b heapItem) bool {
+	if a.dist < b.dist {
+		return true
+	}
+	if b.dist < a.dist {
+		return false
+	}
+	return a.node < b.node
+}
+
+type nodeHeap struct {
+	items []heapItem
+	// pos[v] is v's index in items, -1 when v is not queued.
+	pos []int32
+}
+
+func (h *nodeHeap) len() int { return len(h.items) }
+
+// reset empties the heap for a graph of n nodes, keeping capacity for
+// reuse across sources.
+func (h *nodeHeap) reset(n int) {
+	h.items = h.items[:0]
+	if cap(h.pos) < n {
+		h.pos = make([]int32, n)
+	}
+	h.pos = h.pos[:n]
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+// push inserts node with the given key, or decreases its key in place
+// when it is already queued. Keys never increase during Dijkstra, so
+// an existing entry only ever sifts up.
+func (h *nodeHeap) push(node NodeID, dist float64) {
+	i := int(h.pos[node])
+	if i < 0 {
+		i = len(h.items)
+		h.items = append(h.items, heapItem{node, dist})
+	}
+	it := heapItem{node, dist}
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !heapLess(it, h.items[parent]) {
+			break
+		}
+		h.items[i] = h.items[parent]
+		h.pos[h.items[i].node] = int32(i)
+		i = parent
+	}
+	h.items[i] = it
+	h.pos[node] = int32(i)
+}
+
+// pop removes and returns the minimum item.
+func (h *nodeHeap) pop() heapItem {
+	top := h.items[0]
+	h.pos[top.node] = -1
+	last := len(h.items) - 1
+	it := h.items[last]
+	h.items = h.items[:last]
+	if last == 0 {
+		return top
+	}
+	// Sift the former tail down from the root.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if heapLess(h.items[c], h.items[min]) {
+				min = c
+			}
+		}
+		if !heapLess(h.items[min], it) {
+			break
+		}
+		h.items[i] = h.items[min]
+		h.pos[h.items[i].node] = int32(i)
+		i = min
+	}
+	h.items[i] = it
+	h.pos[it.node] = int32(i)
+	return top
+}

@@ -1,0 +1,109 @@
+package topology
+
+import "scmp/internal/runner"
+
+// NextHopTable is the unicast forwarding table implied by shortest-delay
+// routing, flattened to one contiguous []NodeID (row-major: entry
+// (u, v) lives at u*n+v). Hop(u, v) is the first hop on u's
+// shortest-delay path to v, or -1 when v is u or unreachable. The flat
+// layout replaces the old [][]NodeID: a single allocation, no per-row
+// pointer chase on the packet forwarding path, and row writes that
+// shard cleanly over workers.
+type NextHopTable struct {
+	n    int
+	hops []NodeID
+}
+
+// N returns the node count the table covers.
+func (t *NextHopTable) N() int { return t.n }
+
+// Hop returns the first hop on u's shortest-delay path to v (-1 when
+// v == u or v is unreachable).
+func (t *NextHopTable) Hop(u, v NodeID) NodeID {
+	return t.hops[int(u)*t.n+int(v)]
+}
+
+// Row returns u's row of the table. The slice aliases the table and
+// must not be mutated.
+func (t *NextHopTable) Row(u NodeID) []NodeID {
+	return t.hops[int(u)*t.n : (int(u)+1)*t.n]
+}
+
+// NextHop computes the unicast forwarding table implied by
+// shortest-delay routing. This is the "link state unicast routing
+// protocol" substrate the paper assumes every domain runs.
+func NextHop(g *Graph) *NextHopTable {
+	return NextHopAvoid(g, nil)
+}
+
+// NextHopAvoid is NextHop over the subgraph that excludes avoided links
+// — the unicast substrate reconverged after a topology change. Source
+// rows are independent single-source problems, so they are sharded over
+// the deterministic worker pool; each worker reuses one engine and one
+// transient Paths row, writing first hops straight into its disjoint
+// slice of the table.
+func NextHopAvoid(g *Graph, avoid AvoidFunc) *NextHopTable {
+	n := g.N()
+	t := &NextHopTable{n: n, hops: make([]NodeID, n*n)}
+	chunks := (n + allPairsChunk - 1) / allPairsChunk
+	fill := func(e *Engine, row *Paths, stack []NodeID, u int) []NodeID {
+		e.ShortestInto(row, NodeID(u), ByDelay, avoid)
+		return fillFirstHops(t.hops[u*n:(u+1)*n], row, NodeID(u), stack)
+	}
+	if chunks <= 1 {
+		e := NewEngine(g)
+		var row Paths
+		var stack []NodeID
+		for u := 0; u < n; u++ {
+			stack = fill(e, &row, stack, u)
+		}
+		return t
+	}
+	runner.Map(runner.Options{}, chunks, func(ci int) struct{} {
+		e := NewEngine(g)
+		var row Paths
+		var stack []NodeID
+		lo := ci * allPairsChunk
+		hi := lo + allPairsChunk
+		if hi > n {
+			hi = n
+		}
+		for u := lo; u < hi; u++ {
+			stack = fill(e, &row, stack, u)
+		}
+		return struct{}{}
+	})
+	return t
+}
+
+// fillFirstHops writes u's next-hop row into dst from a shortest-path
+// tree, memoising resolved prefixes so the whole row costs O(n) parent
+// steps instead of one root walk per destination. stack is caller-owned
+// scratch, returned for reuse.
+func fillFirstHops(dst []NodeID, sp *Paths, u NodeID, stack []NodeID) []NodeID {
+	for v := range dst {
+		dst[v] = -1
+	}
+	for v := range dst {
+		if NodeID(v) == u || sp.Parent[v] == -1 || dst[v] != -1 {
+			continue
+		}
+		// Walk rootward until we hit the source or a node whose first
+		// hop is already known, then unwind the walked suffix.
+		w := NodeID(v)
+		stack = stack[:0]
+		for dst[w] == -1 && sp.Parent[w] != u {
+			stack = append(stack, w)
+			w = sp.Parent[w]
+		}
+		fh := dst[w]
+		if fh == -1 {
+			fh = w // sp.Parent[w] == u: w itself is the first hop
+			dst[w] = w
+		}
+		for _, x := range stack {
+			dst[x] = fh
+		}
+	}
+	return stack
+}
