@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-invariants bench bench-quick bench-routing smoke-parallel smoke-faults fmt
+.PHONY: all build lint test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick smoke-parallel smoke-faults fmt
 
 all: lint test
 
@@ -44,6 +44,21 @@ bench-routing:
 	{ $(GO) test -bench 'Shortest|AllPairs|NextHopTable' -benchtime $(BENCHTIME) -benchmem -run '^$$' ./internal/topology/ && \
 	  $(GO) test -bench FaultRecompute -benchtime $(BENCHTIME) -benchmem -run '^$$' . ; } | tee BENCH_routing.txt
 	$(GO) run ./cmd/benchjson < BENCH_routing.txt > BENCH_routing.json
+
+# Data-plane perf gate: steady-state per-packet forwarding cost of the
+# pooled scheduler + typed-sink path against the preserved reference
+# path (closure per hop, map-keyed stores) on the 400-node Waxman
+# instance under the Fig. 8/9 load. The acceptance record is
+# BENCH_dataplane.txt/.json: >=10x fewer allocs per packet-hop and
+# >=2x events/sec, fast vs ref.
+DATAPLANE_BENCHTIME ?= 20000x
+bench-dataplane:
+	$(GO) test -bench DataPlane -benchtime $(DATAPLANE_BENCHTIME) -benchmem -run '^$$' . | tee BENCH_dataplane.txt
+	$(GO) run ./cmd/benchjson BENCH_dataplane.txt > BENCH_dataplane.json
+
+# Quick CI pass of the same benchmark (no artefact files).
+bench-dataplane-quick:
+	$(GO) test -bench DataPlane -benchtime 500x -benchmem -run '^$$' .
 
 # End-to-end smoke of the parallel runner under the race detector: a
 # quick Fig. 7 sweep fanned over 4 workers.

@@ -1,19 +1,24 @@
-// Command benchjson converts `go test -bench` text output (read from
-// stdin) into a JSON array on stdout, one object per benchmark result
-// line. The raw text is the benchstat-compatible artefact; the JSON is
-// for dashboards and the BENCH_routing.json acceptance record.
+// Command benchjson converts `go test -bench` text output into a JSON
+// array on stdout, one object per benchmark result line. The raw text
+// is the benchstat-compatible artefact; the JSON is for dashboards and
+// the BENCH_*.json acceptance records.
 //
 //	go test -bench . -benchmem | tee BENCH.txt | benchjson > BENCH.json
+//	benchjson BENCH_routing.txt BENCH_dataplane.txt > BENCH_all.json
 //
-// Each benchmark line becomes {"name", "iterations", "metrics": {unit:
-// value}}; context lines (goos/goarch/pkg/cpu) are folded into every
-// following object until the next context block.
+// With no arguments it reads stdin; with file arguments it reads each
+// file in order and merges every result into one array. Each benchmark
+// line becomes {"name", "iterations", "metrics": {unit: value}};
+// context lines (goos/goarch/pkg/cpu) are folded into every following
+// object until the next context block, and context never leaks across
+// input files.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -32,9 +37,46 @@ type Result struct {
 }
 
 func main() {
-	sc := bufio.NewScanner(os.Stdin)
+	results, err := run(os.Args[1:], os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run collects the results from every named file, or from stdin when
+// none are given. The returned slice is non-nil even when empty, so the
+// JSON output is always an array.
+func run(files []string, stdin io.Reader) ([]Result, error) {
+	results := []Result{}
+	if len(files) == 0 {
+		return parse(stdin, results)
+	}
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		results, err = parse(f, results)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return results, nil
+}
+
+// parse scans one benchmark text stream, appending its results. The
+// goos/goarch/pkg/cpu context resets per stream.
+func parse(r io.Reader, results []Result) ([]Result, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	var results []Result
 	ctx := map[string]string{}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -49,24 +91,15 @@ func main() {
 			ctx[k] = strings.TrimSpace(v)
 			continue
 		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBench(line, ctx); ok {
-				results = append(results, r)
+			if res, ok := parseBench(line, ctx); ok {
+				results = append(results, res)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if results == nil {
-		results = []Result{}
-	}
-	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return results, nil
 }
 
 // parseBench parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// golden1 is verbatim `go test -bench -benchmem` output, context block
+// included.
+const golden1 = `goos: linux
+goarch: amd64
+pkg: scmp/internal/routing
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkShortest-8   	    1203	    987654 ns/op	  120384 B/op	     312 allocs/op
+BenchmarkNextHop-8    	     842	   1423901 ns/op	  240128 B/op	     641 allocs/op
+PASS
+ok  	scmp/internal/routing	3.214s
+`
+
+// golden2 has a different context block and a custom metric, to check
+// context resets between files and (value, unit) pairs parse generally.
+const golden2 = `goos: linux
+goarch: amd64
+pkg: scmp
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkDataPlane/fast-8   	      25	  41234567 ns/op	        12.50 ns/hop	   1500000 events/sec	       0 allocs/op
+PASS
+ok  	scmp	2.001s
+`
+
+func TestParseSingleStream(t *testing.T) {
+	results, err := parse(strings.NewReader(golden1), []Result{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkShortest-8" || r.Iterations != 1203 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.Pkg != "scmp/internal/routing" || r.Goos != "linux" || r.Goarch != "amd64" {
+		t.Fatalf("context not folded in: %+v", r)
+	}
+	want := map[string]float64{"ns/op": 987654, "B/op": 120384, "allocs/op": 312}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Fatalf("metric %s = %g, want %g", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestRunMergesFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.txt")
+	f2 := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(f1, []byte(golden1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, []byte(golden2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := run([]string{f1, f2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("merged %d results, want 3", len(results))
+	}
+	// Context must come from each result's own file.
+	if results[0].Pkg != "scmp/internal/routing" {
+		t.Fatalf("first file pkg = %q", results[0].Pkg)
+	}
+	last := results[2]
+	if last.Pkg != "scmp" || last.Name != "BenchmarkDataPlane/fast-8" {
+		t.Fatalf("second file result = %+v", last)
+	}
+	if last.Metrics["ns/hop"] != 12.5 || last.Metrics["events/sec"] != 1500000 || last.Metrics["allocs/op"] != 0 {
+		t.Fatalf("custom metrics = %v", last.Metrics)
+	}
+}
+
+func TestRunStdinWhenNoFiles(t *testing.T) {
+	results, err := run(nil, strings.NewReader(golden2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkDataPlane/fast-8" {
+		t.Fatalf("stdin results = %+v", results)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if _, err := run([]string{filepath.Join(t.TempDir(), "nope.txt")}, nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunEmptyInputIsEmptyArray(t *testing.T) {
+	results, err := run(nil, strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Fatalf("empty input = %#v, want non-nil empty slice", results)
+	}
+}

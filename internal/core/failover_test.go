@@ -7,6 +7,7 @@ import (
 
 	"scmp/internal/netsim"
 	"scmp/internal/packet"
+	scmprng "scmp/internal/rng"
 	"scmp/internal/session"
 	"scmp/internal/topology"
 )
@@ -185,48 +186,68 @@ func TestAccountingRecordsMembership(t *testing.T) {
 	}
 }
 
-// Property: for random topologies and member sets, failover always
-// restores exactly-once delivery from arbitrary sources.
-func TestPropertyFailoverDelivery(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		g, err := topology.Random(topology.DefaultRandom(18, 4), rng)
-		if err != nil {
-			return false
-		}
-		s := New(Config{MRouter: 1, Standby: 2, Kappa: 1.5})
-		net := netsim.New(g, s)
-		members := map[topology.NodeID]bool{}
-		for _, v := range rng.Perm(g.N())[:6] {
-			if v == 1 { // don't place members on the doomed primary
-				continue
-			}
-			net.HostJoin(topology.NodeID(v), grp)
-			members[topology.NodeID(v)] = true
-		}
-		net.Run()
-		s.Failover()
-		net.Run()
-		if err := s.GroupTree(grp).Validate(); err != nil {
-			t.Logf("seed %d: %v", seed, err)
-			return false
-		}
-		for i := 0; i < 3; i++ {
-			src := topology.NodeID(rng.Intn(g.N()))
-			if src == 1 {
-				continue // the dead primary does not originate traffic
-			}
-			seq := net.SendData(src, grp, 200)
-			net.Run()
-			missing, anomalous := net.CheckDelivery(seq)
-			if len(missing) != 0 || len(anomalous) != 0 {
-				t.Logf("seed %d src %d: missing=%v anomalous=%v", seed, src, missing, anomalous)
-				return false
-			}
-		}
-		return true
+// failoverDelivers is the property under test: for a random topology and
+// member set derived from seed, failover restores exactly-once delivery
+// from arbitrary sources.
+func failoverDelivers(t *testing.T, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := topology.Random(topology.DefaultRandom(18, 4), rng)
+	if err != nil {
+		return false
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	s := New(Config{MRouter: 1, Standby: 2, Kappa: 1.5})
+	net := netsim.New(g, s)
+	members := map[topology.NodeID]bool{}
+	for _, v := range rng.Perm(g.N())[:6] {
+		if v == 1 { // don't place members on the doomed primary
+			continue
+		}
+		net.HostJoin(topology.NodeID(v), grp)
+		members[topology.NodeID(v)] = true
+	}
+	net.Run()
+	s.Failover()
+	net.Run()
+	if err := s.GroupTree(grp).Validate(); err != nil {
+		t.Logf("seed %d: %v", seed, err)
+		return false
+	}
+	for i := 0; i < 3; i++ {
+		src := topology.NodeID(rng.Intn(g.N()))
+		if src == 1 {
+			continue // the dead primary does not originate traffic
+		}
+		seq := net.SendData(src, grp, 200)
+		net.Run()
+		missing, anomalous := net.CheckDelivery(seq)
+		if len(missing) != 0 || len(anomalous) != 0 {
+			t.Logf("seed %d src %d: missing=%v anomalous=%v", seed, src, missing, anomalous)
+			return false
+		}
+	}
+	return true
+}
+
+// Property: failover always restores exactly-once delivery. The quick
+// run draws its seeds from a fixed internal/rng stream so every CI run
+// explores the same 30 cases — the old time-seeded config made failures
+// unreproducible (scmplint noclock exists for exactly this reason).
+func TestPropertyFailoverDelivery(t *testing.T) {
+	f := func(seed int64) bool { return failoverDelivers(t, seed) }
+	cfg := &quick.Config{MaxCount: 30, Rand: scmprng.New(0x5C3F)}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: a time-seeded quick run once drew this seed and failed.
+// The old tree's teardown prunes (unversioned) raced the failover TREE
+// distribution: a relay already installed on the new tree honoured a
+// stale pre-failover PRUNE from a child the new tree routes a member
+// through, pruned itself, and stranded that member. handlePrune now
+// rejects prunes from an older failover epoch.
+func TestFailoverDeliveryRegressionSeed(t *testing.T) {
+	if !failoverDelivers(t, 2679709531305543172) {
+		t.Fatal("seed 2679709531305543172: delivery broken after failover")
 	}
 }

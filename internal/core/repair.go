@@ -270,6 +270,7 @@ func (s *SCMP) repairEndpoint(node, dead topology.NodeID) {
 			continue
 		}
 		delete(e.downstream, dead)
+		e.downDirty = true
 		if e.upstream != dead {
 			continue
 		}

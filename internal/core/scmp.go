@@ -37,6 +37,11 @@ type entry struct {
 	hasLocal     bool // >=1 member interface on the local subnet
 	pendingLocal bool // IGMP report seen, tree installation still in flight
 	version      uint64
+	// downCache is the ascending downstream list the forwarding paths
+	// iterate; downDirty marks it stale after a downstream mutation, so
+	// the per-packet hot path never sorts (see down).
+	downCache []topology.NodeID
+	downDirty bool
 	// repairing is set when this router's upstream tree link died and a
 	// REJOIN is in flight; repairT0 timestamps the failure so the
 	// recovery time can be recorded when a new upstream is adopted.
@@ -46,6 +51,17 @@ type entry struct {
 
 func newEntry() *entry {
 	return &entry{upstream: noUpstream, downstream: make(map[topology.NodeID]bool)}
+}
+
+// down returns the downstream routers in ascending order, cached until
+// the next downstream mutation (every mutation site sets downDirty).
+// Callers must not retain the slice across mutations.
+func (e *entry) down() []topology.NodeID {
+	if e.downDirty {
+		e.downCache = topology.SortedNodes(e.downstream)
+		e.downDirty = false
+	}
+	return e.downCache
 }
 
 // groupState is the m-router's per-group state: the DCDM tree, the
@@ -157,6 +173,10 @@ type SCMP struct {
 	// superseded request is ignored.
 	pending map[pendingKey]*pendingReq
 	reqSeq  uint64
+	// splitBuf is the reusable scratch for splitting incoming TREE
+	// payloads (the per-hop forwarding path re-slices the payload
+	// instead of re-encoding it; see handleTree).
+	splitBuf []packet.ChildPayload
 }
 
 var _ netsim.Protocol = (*SCMP)(nil)
@@ -409,10 +429,11 @@ func (s *SCMP) sendPrune(node topology.NodeID, g packet.GroupID, e *entry) {
 		return
 	}
 	s.net.SendLink(node, up, &netsim.Packet{
-		Kind:  packet.Prune,
-		Group: g,
-		Src:   node,
-		Size:  packet.ControlSize,
+		Kind:    packet.Prune,
+		Group:   g,
+		Src:     node,
+		Version: e.version, // stamps the sender's epoch; see handlePrune
+		Size:    packet.ControlSize,
 	})
 }
 
@@ -544,6 +565,7 @@ func (s *SCMP) Failover() {
 	for g, e := range s.entries[s.homes[0]] {
 		e.onTree = false
 		e.downstream = make(map[topology.NodeID]bool)
+		e.downDirty = true
 		_ = g
 	}
 	s.homes[0] = s.cfg.Standby
@@ -588,6 +610,7 @@ func (s *SCMP) syncMRouterEntry(g packet.GroupID, gs *groupState) {
 		down[c] = true
 	}
 	e.downstream = down
+	e.downDirty = true
 	e.version = gs.version
 	commitCheck(s.home(g), gs.dcdm.Tree())
 }
@@ -699,7 +722,14 @@ func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
 // packet's children, split the packet and forward one subpacket per
 // child. Downstream routers absent from the new subtree are flushed.
 func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
-	sub, err := packet.DecodeSubtree(pkt.Payload)
+	// Split rather than decode: each child's subtree encoding is
+	// embedded verbatim in the payload, so the forwarded subpackets are
+	// slices of the incoming payload (byte-identical to re-encoding,
+	// without materialising the Subtree or allocating new payloads).
+	// SplitSubtree walks the whole payload, so corrupt packets are
+	// dropped here exactly as DecodeSubtree would.
+	children, err := packet.SplitSubtree(pkt.Payload, s.splitBuf[:0])
+	s.splitBuf = children[:0]
 	if err != nil {
 		return // corrupt packet: drop
 	}
@@ -716,26 +746,26 @@ func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
 	if wasOnTree && oldUp != noUpstream && oldUp != pkt.From {
 		// Restructured: break the loop by pruning toward the old parent.
 		s.net.SendLink(node, oldUp, &netsim.Packet{
-			Kind:  packet.Prune,
-			Group: pkt.Group,
-			Src:   node,
-			Size:  packet.ControlSize,
+			Kind:    packet.Prune,
+			Group:   pkt.Group,
+			Src:     node,
+			Version: pkt.Version,
+			Size:    packet.ControlSize,
 		})
 	}
-	newDown := make(map[topology.NodeID]bool, len(sub.Children))
-	for _, c := range sub.Children {
+	newDown := make(map[topology.NodeID]bool, len(children))
+	for _, c := range children {
 		newDown[c.Addr] = true
-		payload := packet.EncodeSubtree(c.Sub)
 		s.net.SendLink(node, c.Addr, &netsim.Packet{
 			Kind:    packet.Tree,
 			Group:   pkt.Group,
 			Src:     pkt.Src,
 			Version: pkt.Version,
-			Payload: payload,
-			Size:    len(payload) + 8,
+			Payload: c.Sub,
+			Size:    len(c.Sub) + 8,
 		})
 	}
-	for _, d := range topology.SortedNodes(e.downstream) {
+	for _, d := range e.down() {
 		if !newDown[d] {
 			s.net.SendLink(node, d, &netsim.Packet{
 				Kind:    packet.Flush,
@@ -747,6 +777,7 @@ func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
 		}
 	}
 	e.downstream = newDown
+	e.downDirty = true
 	if e.pendingLocal {
 		e.pendingLocal = false
 		e.hasLocal = true
@@ -784,6 +815,7 @@ func (s *SCMP) handleBranch(node topology.NodeID, pkt *netsim.Packet) {
 		return // this router is the new member's DR
 	}
 	e.downstream[rest[0]] = true
+	e.downDirty = true
 	payload := packet.EncodeBranch(rest)
 	s.net.SendLink(node, rest[0], &netsim.Packet{
 		Kind:    packet.Branch,
@@ -802,7 +834,18 @@ func (s *SCMP) handlePrune(node topology.NodeID, pkt *netsim.Packet) {
 	if e == nil || !e.onTree {
 		return
 	}
+	if pkt.Version>>32 < e.version>>32 {
+		// A prune stamped with a pre-failover epoch arriving at a router
+		// already re-homed by the new m-router's distribution is the old
+		// tree tearing itself down, not this child leaving the new tree:
+		// honouring it would detach a branch the new tree still routes
+		// members through (seed 2679709531305543172). Within an epoch
+		// version skew is legal — a leaf may lag its upstream's refresh —
+		// so only cross-epoch prunes are rejected.
+		return
+	}
 	delete(e.downstream, pkt.From)
+	e.downDirty = true
 	if s.isHome(node, pkt.Group) {
 		return
 	}
@@ -830,7 +873,7 @@ func (s *SCMP) handleFlush(node topology.NodeID, pkt *netsim.Packet) {
 	if pkt.Dst != node && pkt.From != e.upstream {
 		return
 	}
-	for _, d := range topology.SortedNodes(e.downstream) {
+	for _, d := range e.down() {
 		s.net.SendLink(node, d, &netsim.Packet{
 			Kind:    packet.Flush,
 			Group:   pkt.Group,
@@ -843,6 +886,7 @@ func (s *SCMP) handleFlush(node topology.NodeID, pkt *netsim.Packet) {
 	e.onTree = false
 	e.upstream = noUpstream
 	e.downstream = make(map[topology.NodeID]bool)
+	e.downDirty = true
 	e.hasLocal = false
 	if hadLocal {
 		e.pendingLocal = true
@@ -886,7 +930,7 @@ func (s *SCMP) forwardOnTree(node topology.NodeID, e *entry, pkt *netsim.Packet,
 	if e.upstream != noUpstream && e.upstream != except {
 		s.net.SendLink(node, e.upstream, pkt)
 	}
-	for _, d := range topology.SortedNodes(e.downstream) {
+	for _, d := range e.down() {
 		if d != except {
 			s.net.SendLink(node, d, pkt)
 		}

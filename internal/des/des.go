@@ -5,20 +5,41 @@
 // ordered by simulated time; ties are broken by insertion sequence so a
 // simulation run is bit-reproducible regardless of map iteration order or
 // host scheduling.
+//
+// The scheduler is allocation-free in steady state: queued events live in
+// a pooled slab of fixed-size slots recycled through a free list, ordered
+// by a 4-ary min-heap of (time, seq, slot) entries — no container/heap
+// interface boxing, no per-event garbage. Callers that would otherwise
+// capture a closure per event (the packet-forwarding hot path) can use
+// the typed sink path (SetSink / AtSink), which carries a small fixed
+// argument tuple instead of a func value; At/After remain as the
+// general-purpose closure API. See DESIGN.md §10 for the free-list
+// safety argument.
 package des
-
-import "container/heap"
 
 // Time is simulated time in seconds.
 type Time float64
 
-// Event is a callback scheduled to run at a simulated instant.
+// Sink receives typed events scheduled with AtSink. The argument tuple
+// (op, a, b, p, flag) is opaque to the scheduler; the simulator packs a
+// delivery descriptor into it (operation code, endpoints, packet
+// pointer, loss flag) so the per-hop event carries no closure.
+type Sink interface {
+	SinkEvent(op uint8, a, b int32, p any, flag bool)
+}
+
+// Event is a cancellation handle for a scheduled callback. The callback
+// itself lives in a pooled scheduler slot; the handle pairs the slot
+// with the generation it was issued for, so holding a handle past the
+// event's firing (the timer-management pattern in the SCMP control
+// plane) is safe: once the slot is recycled the generations diverge and
+// Cancel degrades to a no-op.
 type Event struct {
+	s    *Scheduler
 	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	slot int32
+	gen  uint32
+	ref  *refEvent // non-nil iff the owning scheduler is a reference scheduler
 }
 
 // At reports the simulated time this event fires at.
@@ -26,41 +47,54 @@ func (e *Event) At() Time { return e.at }
 
 // Cancel prevents a pending event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-// Cancelled reports whether the event was cancelled.
-func (e *Event) Cancelled() bool { return e.dead }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at < h[j].at {
-		return true
+func (e *Event) Cancel() {
+	if e.ref != nil {
+		e.ref.dead = true
+		return
 	}
-	if h[j].at < h[i].at {
-		return false
+	nd := &e.s.slab[e.slot]
+	if nd.gen == e.gen {
+		nd.dead = true
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+// Cancelled reports whether the event will not (or did not) run again:
+// true once cancelled or fired.
+func (e *Event) Cancelled() bool {
+	if e.ref != nil {
+		return e.ref.dead
+	}
+	nd := &e.s.slab[e.slot]
+	return nd.gen != e.gen || nd.dead
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
+
+// node is one pooled event slot. gen increments every time the slot is
+// recycled, invalidating any outstanding Event handles and (under the
+// invariants build tag) proving the heap never dispatches a stale slot.
+type node struct {
+	gen  uint32
+	dead bool
+	kind uint8 // kClosure or kSink
+	op   uint8
+	flag bool
+	a, b int32
+	fn   func()
+	p    any
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+
+const (
+	kClosure uint8 = iota
+	kSink
+)
+
+// entry is one 4-ary heap element: the (time, seq) ordering key plus the
+// slot the payload lives in. 24 bytes, moved by value during sifts — no
+// pointer chasing in the comparison loop.
+type entry struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
 }
 
 // Scheduler is a single-threaded discrete-event simulator. The zero value
@@ -68,9 +102,16 @@ func (h *eventHeap) Pop() any {
 type Scheduler struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
 	fired  uint64
 	halted bool
+
+	heap []entry
+	slab []node
+	free []int32
+
+	sink Sink
+
+	ref *refScheduler // non-nil for reference schedulers (NewRef)
 }
 
 // New returns a fresh scheduler at time zero.
@@ -84,7 +125,54 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still queued (including cancelled
 // events that have not yet been discarded).
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int {
+	if s.ref != nil {
+		return len(s.ref.queue)
+	}
+	return len(s.heap)
+}
+
+// SetSink installs the receiver for AtSink events. One sink per
+// scheduler; installing it twice panics (a silently replaced sink would
+// reroute in-flight events).
+func (s *Scheduler) SetSink(k Sink) {
+	if s.sink != nil && k != s.sink {
+		panic("des: sink installed twice")
+	}
+	s.sink = k
+}
+
+// alloc takes a slot from the free list (or grows the slab) and stamps
+// it live. The caller fills the payload fields.
+func (s *Scheduler) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	s.slab = append(s.slab, node{})
+	return int32(len(s.slab) - 1)
+}
+
+// recycle returns a slot to the free list. Bumping gen first invalidates
+// every outstanding handle and heap entry stamped with the old
+// generation.
+func (s *Scheduler) recycle(slot int32) {
+	nd := &s.slab[slot]
+	nd.gen++
+	nd.dead = false
+	nd.fn = nil
+	nd.p = nil
+	s.free = append(s.free, slot)
+}
+
+// push enqueues a heap entry for a freshly filled slot.
+func (s *Scheduler) push(t Time, slot int32) {
+	e := entry{at: t, seq: s.seq, slot: slot, gen: s.slab[slot].gen}
+	s.seq++
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap) - 1)
+}
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past (t < Now) panics: it would violate causality.
@@ -92,10 +180,15 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic("des: event scheduled in the past")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	if s.ref != nil {
+		return s.ref.at(s, t, fn)
+	}
+	slot := s.alloc()
+	nd := &s.slab[slot]
+	nd.kind = kClosure
+	nd.fn = fn
+	s.push(t, slot)
+	return &Event{s: s, at: t, slot: slot, gen: nd.gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -106,21 +199,67 @@ func (s *Scheduler) After(d Time, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// AtSink schedules a typed event for the installed sink at absolute
+// time t. It is the closure-free fast path: the argument tuple is
+// stored in the pooled slot, so a steady-state packet hop allocates
+// nothing (a *Packet in p is a pointer-shaped interface — no boxing).
+// Sink events return no handle; they cannot be cancelled.
+func (s *Scheduler) AtSink(t Time, op uint8, a, b int32, p any, flag bool) {
+	if t < s.now {
+		panic("des: event scheduled in the past")
+	}
+	if s.sink == nil {
+		panic("des: AtSink without a sink installed")
+	}
+	if s.ref != nil {
+		s.ref.atSink(s, t, op, a, b, p, flag)
+		return
+	}
+	slot := s.alloc()
+	nd := &s.slab[slot]
+	nd.kind = kSink
+	nd.op = op
+	nd.a, nd.b = a, b
+	nd.p = p
+	nd.flag = flag
+	s.push(t, slot)
+}
+
 // Halt stops Run/RunUntil before the next event is dispatched.
 func (s *Scheduler) Halt() { s.halted = true }
 
 // Step executes the single earliest pending event. It returns false when
 // the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.dead {
+	if s.ref != nil {
+		return s.ref.step(s)
+	}
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		s.popRoot()
+		nd := &s.slab[e.slot]
+		checkPop(s, e, nd)
+		if nd.dead {
+			s.recycle(e.slot)
 			continue
 		}
 		s.now = e.at
-		e.dead = true
 		s.fired++
-		e.fn()
+		// Copy the payload out and recycle before dispatching: the
+		// callback may schedule (reusing this slot immediately — the
+		// dominant pattern in chained forwarding) or run nested Steps.
+		// The old scheduler marked a firing event dead before its
+		// callback; the generation bump preserves that observable
+		// (handle.Cancelled() is true from inside the callback).
+		if nd.kind == kClosure {
+			fn := nd.fn
+			s.recycle(e.slot)
+			fn()
+		} else {
+			op, a, b, p, flag := nd.op, nd.a, nd.b, nd.p, nd.flag
+			s.recycle(e.slot)
+			s.sink.SinkEvent(op, a, b, p, flag)
+		}
 		return true
 	}
 	return false
@@ -138,8 +277,8 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.halted = false
 	for !s.halted {
-		e := s.peek()
-		if e == nil || e.at > deadline {
+		at, ok := s.peek()
+		if !ok || at > deadline {
 			break
 		}
 		s.Step()
@@ -149,13 +288,89 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	}
 }
 
-func (s *Scheduler) peek() *Event {
-	for len(s.queue) > 0 {
-		if s.queue[0].dead {
-			heap.Pop(&s.queue)
+// peek reports the firing time of the earliest live event, discarding
+// cancelled ones.
+func (s *Scheduler) peek() (Time, bool) {
+	if s.ref != nil {
+		return s.ref.peek(s)
+	}
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if s.slab[e.slot].dead {
+			s.popRoot()
+			s.recycle(e.slot)
 			continue
 		}
-		return s.queue[0]
+		return e.at, true
 	}
-	return nil
+	return 0, false
+}
+
+// --- 4-ary min-heap over entry ----------------------------------------
+//
+// Same (time, seq) order as the old container/heap implementation, so
+// every dispatch sequence is preserved exactly. 4-ary halves the tree
+// depth versus binary (fewer cache lines per sift) and the entries are
+// plain values, so sifts are memmoves — no interface calls.
+
+func entryLess(a, b entry) bool {
+	if a.at < b.at {
+		return true
+	}
+	if b.at < a.at {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(e, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// popRoot removes the minimum entry (the caller has already read
+// s.heap[0]).
+func (s *Scheduler) popRoot() {
+	h := s.heap
+	n := len(h) - 1
+	e := h[n]
+	s.heap = h[:n]
+	if n == 0 {
+		return
+	}
+	h = s.heap
+	// Sift e down from the root.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[min]) {
+				min = j
+			}
+		}
+		if !entryLess(h[min], e) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = e
 }

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -249,5 +250,281 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.After(1, func() {})
 		s.Step()
+	}
+}
+
+// --- pooled-slot semantics ---------------------------------------------
+
+// A cancelled event's slot is recycled and reused by a later event; the
+// stale handle must stay inert: Cancel is a no-op, Cancelled stays true,
+// and the recycled slot's new occupant fires exactly once. Run with
+// -tags invariants to additionally assert (via invariant.CheckEventSlot)
+// that no recycled slot is ever dispatched.
+func TestCancelledSlotRecycledSafely(t *testing.T) {
+	s := New()
+	var fired []string
+	stale := s.At(1, func() { fired = append(fired, "cancelled") })
+	stale.Cancel()
+	if s.Step() {
+		t.Fatal("Step fired the cancelled event")
+	}
+	// The sweep recycled the cancelled entry's slot; this event reuses it.
+	fresh := s.At(2, func() { fired = append(fired, "fresh") })
+	if fresh.slot != stale.slot {
+		t.Fatalf("free list did not recycle: fresh slot %d, stale slot %d", fresh.slot, stale.slot)
+	}
+	stale.Cancel() // stale handle on a reused slot: must not touch it
+	if !stale.Cancelled() {
+		t.Fatal("stale handle no longer reads cancelled")
+	}
+	if fresh.Cancelled() {
+		t.Fatal("stale Cancel leaked into the recycled slot")
+	}
+	s.Run()
+	if len(fired) != 1 || fired[0] != "fresh" {
+		t.Fatalf("fired = %v, want [fresh]", fired)
+	}
+}
+
+// Step returns false when only cancelled events remain, discarding them.
+func TestStepSkipsCancelledToEmpty(t *testing.T) {
+	s := New()
+	s.At(1, func() {}).Cancel()
+	s.At(2, func() {}).Cancel()
+	if s.Step() {
+		t.Fatal("Step fired a cancelled event")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after sweep, want 0", s.Pending())
+	}
+}
+
+// A handle held across its event's firing reads Cancelled (the old
+// scheduler marked firing events dead) and its Cancel must not disturb
+// whatever event has since been given the recycled slot.
+func TestStaleHandleAfterFiring(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.Run()
+	if !e.Cancelled() {
+		t.Fatal("fired event's handle should read Cancelled")
+	}
+	ran := false
+	f := s.At(2, func() { ran = true })
+	e.Cancel() // slot likely reused by f; must be a no-op
+	s.Run()
+	if !ran {
+		t.Fatalf("stale Cancel killed the recycled slot's event (reused=%v)", f.slot == e.slot)
+	}
+}
+
+// Cancelled() from inside the event's own callback: the old scheduler
+// set dead before dispatch, so this was observable true. Preserved.
+func TestCancelledInsideOwnCallback(t *testing.T) {
+	s := New()
+	var e *Event
+	saw := false
+	e = s.At(1, func() { saw = e.Cancelled() })
+	s.Run()
+	if !saw {
+		t.Fatal("Cancelled() inside own callback = false, want true")
+	}
+}
+
+// Slots must actually be recycled: a long alternating schedule/fire run
+// must not grow the slab beyond the peak number of simultaneously
+// queued events.
+func TestSlabBoundedByPeakQueue(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.After(1, func() {})
+	}
+	for i := 0; i < 10_000; i++ {
+		s.After(1, func() {})
+		s.Step()
+	}
+	s.Run()
+	if len(s.slab) > 11 {
+		t.Fatalf("slab grew to %d slots for a peak queue of 11", len(s.slab))
+	}
+}
+
+// --- typed sink path ----------------------------------------------------
+
+type recordingSink struct {
+	s    *Scheduler
+	got  []string
+	seen []Time
+}
+
+func (r *recordingSink) SinkEvent(op uint8, a, b int32, p any, flag bool) {
+	r.got = append(r.got, fmt.Sprintf("op%d %d->%d p=%v flag=%v", op, a, b, p, flag))
+	r.seen = append(r.seen, r.s.Now())
+}
+
+func TestSinkEvents(t *testing.T) {
+	s := New()
+	sink := &recordingSink{s: s}
+	s.SetSink(sink)
+	s.AtSink(2, 1, 10, 20, "x", true)
+	s.AtSink(1, 0, 7, 8, nil, false)
+	s.Run()
+	want := []string{"op0 7->8 p=<nil> flag=false", "op1 10->20 p=x flag=true"}
+	if len(sink.got) != 2 || sink.got[0] != want[0] || sink.got[1] != want[1] {
+		t.Fatalf("sink saw %v, want %v", sink.got, want)
+	}
+	if sink.seen[0] != 1 || sink.seen[1] != 2 {
+		t.Fatalf("sink clock = %v", sink.seen)
+	}
+}
+
+// Sink and closure events interleave in one (time, seq) order.
+func TestSinkClosureInterleaving(t *testing.T) {
+	s := New()
+	sink := &recordingSink{s: s}
+	s.SetSink(sink)
+	var order []string
+	s.At(1, func() { order = append(order, "closure") })
+	s.AtSink(1, 0, 0, 0, nil, false)
+	s.At(1, func() { order = append(order, "closure2") })
+	s.Run()
+	// The sink event sits between the closures in seq order.
+	if len(order) != 2 || len(sink.got) != 1 || sink.seen[0] != 1 {
+		t.Fatalf("order=%v sink=%v", order, sink.got)
+	}
+}
+
+func TestAtSinkWithoutSinkPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AtSink(1, 0, 0, 0, nil, false)
+}
+
+func TestSetSinkTwicePanics(t *testing.T) {
+	s := New()
+	s.SetSink(&recordingSink{s: s})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.SetSink(&recordingSink{s: s})
+}
+
+// Steady-state scheduling through both the closure and sink paths must
+// be allocation-free (the handle for At is the one deliberate remaining
+// allocation; the hot path uses AtSink which returns none).
+func TestSinkPathAllocFree(t *testing.T) {
+	s := New()
+	sink := &recordingSink{s: s}
+	s.SetSink(sink)
+	// Warm the slab and the sink's record slices.
+	for i := 0; i < 100; i++ {
+		s.AtSink(s.Now()+1, 0, 0, 0, nil, false)
+		s.Step()
+	}
+	sink.got = sink.got[:0]
+	sink.seen = sink.seen[:0]
+	avg := testing.AllocsPerRun(1000, func() {
+		s.AtSink(s.Now()+1, 0, 0, 0, nil, false)
+		s.Step()
+		if len(sink.got) > 500 {
+			sink.got = sink.got[:0]
+			sink.seen = sink.seen[:0]
+		}
+	})
+	// The recording sink's fmt.Sprintf allocates; measure only up to its
+	// bookkeeping — anything beyond ~4 allocs/op means the scheduler
+	// itself is allocating per event.
+	if avg > 4 {
+		t.Fatalf("sink round-trip allocates %.1f/op", avg)
+	}
+}
+
+// --- reference-scheduler differential -----------------------------------
+
+// The preserved container/heap scheduler and the pooled 4-ary scheduler
+// must dispatch identical (time, value) sequences for any workload,
+// including nested scheduling and cancellations.
+func TestRefEquivalence(t *testing.T) {
+	run := func(s *Scheduler, seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		var trace []Time
+		var events []*Event
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, s.Now())
+			if depth >= 5 {
+				return
+			}
+			for i, n := 0, rng.Intn(4); i < n; i++ {
+				e := s.After(Time(rng.Float64()), func() { spawn(depth + 1) })
+				events = append(events, e)
+				if rng.Intn(5) == 0 && len(events) > 0 {
+					events[rng.Intn(len(events))].Cancel()
+				}
+			}
+		}
+		for i := 0; i < 8; i++ {
+			s.After(Time(rng.Float64()), func() { spawn(0) })
+		}
+		s.Run()
+		return trace
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		fast, ref := run(New(), seed), run(NewRef(), seed)
+		if len(fast) != len(ref) {
+			t.Fatalf("seed %d: fast fired %d, ref fired %d", seed, len(fast), len(ref))
+		}
+		for i := range fast {
+			if fast[i] != ref[i] {
+				t.Fatalf("seed %d: dispatch %d at %v (fast) vs %v (ref)", seed, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+// Every Scheduler behaviour test above must hold on the reference
+// scheduler too; spot-check the load-bearing ones.
+func TestRefSchedulerContract(t *testing.T) {
+	s := NewRef()
+	if !s.IsRef() {
+		t.Fatal("IsRef = false")
+	}
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	e := s.At(3, func() { got = append(got, -1) })
+	e.Cancel()
+	if e.ref == nil || !e.Cancelled() {
+		t.Fatal("ref handle broken")
+	}
+	s.RunUntil(4)
+	if len(got) != 0 || s.Now() != 4 {
+		t.Fatalf("got=%v now=%v", got, s.Now())
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ref tie-break not FIFO at %d: %v", i, v)
+		}
+	}
+	if s.Fired() != 50 || s.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d", s.Fired(), s.Pending())
+	}
+	// Sink path on ref: closure-wrapped but same order.
+	s2 := NewRef()
+	sink := &recordingSink{s: s2}
+	s2.SetSink(sink)
+	s2.AtSink(s2.Now()+1, 3, 1, 2, nil, true)
+	s2.Run()
+	if len(sink.got) != 1 || sink.got[0] != "op3 1->2 p=<nil> flag=true" {
+		t.Fatalf("ref sink saw %v", sink.got)
 	}
 }

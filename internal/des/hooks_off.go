@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package des
+
+// checkPop is a no-op unless built with -tags invariants; see hooks_on.go.
+func checkPop(*Scheduler, entry, *node) {}

@@ -1,0 +1,16 @@
+//go:build invariants
+
+package des
+
+import "scmp/internal/invariant"
+
+// checkPop validates every entry popped from the pooled heap before it
+// is recycled or dispatched: the slot generation must still match the
+// entry's (no slot was recycled while queued) and the event time must
+// not precede the clock (heap order held). A violation is a scheduler
+// bug, never bad input, so it panics.
+func checkPop(s *Scheduler, e entry, nd *node) {
+	if err := invariant.CheckEventSlot(e.gen, nd.gen, float64(e.at), float64(s.now)); err != nil {
+		panic("des: " + err.Error())
+	}
+}

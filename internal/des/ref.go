@@ -1,0 +1,108 @@
+package des
+
+import "container/heap"
+
+// This file preserves the historical scheduler — container/heap over
+// per-event allocations — verbatim in behaviour, as the reference
+// implementation for the differential-equivalence gate (the same role
+// shortestRef plays for the routing engine). A reference scheduler is
+// obtained with NewRef; it shares the Scheduler API, clock, sequence
+// counter and fired count, differing only in how the queue is stored
+// and dispatched. Production code never constructs one.
+
+// refEvent is the old heap element: one allocation per scheduled event,
+// ordered through the container/heap interface.
+type refEvent struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at < h[j].at {
+		return true
+	}
+	if h[j].at < h[i].at {
+		return false
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// refScheduler is the queue state of a reference scheduler; the shared
+// Scheduler front-end delegates here when it is non-nil.
+type refScheduler struct {
+	queue refHeap
+}
+
+// NewRef returns a scheduler backed by the historical container/heap
+// implementation. Test-only: the differential gate runs every scenario
+// on both New and NewRef and asserts identical outputs.
+func NewRef() *Scheduler { return &Scheduler{ref: &refScheduler{}} }
+
+// IsRef reports whether this scheduler uses the reference queue.
+func (s *Scheduler) IsRef() bool { return s.ref != nil }
+
+func (r *refScheduler) at(s *Scheduler, t Time, fn func()) *Event {
+	e := &refEvent{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&r.queue, e)
+	return &Event{s: s, at: t, ref: e}
+}
+
+// atSink emulates the typed path by capturing the tuple in a closure —
+// exactly the allocation profile the fast path exists to avoid, which
+// is what makes the benchmark comparison honest.
+func (r *refScheduler) atSink(s *Scheduler, t Time, op uint8, a, b int32, p any, flag bool) {
+	sink := s.sink
+	r.at(s, t, func() { sink.SinkEvent(op, a, b, p, flag) })
+}
+
+func (r *refScheduler) step(s *Scheduler) bool {
+	for len(r.queue) > 0 {
+		e := heap.Pop(&r.queue).(*refEvent)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.dead = true
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+func (r *refScheduler) peek(s *Scheduler) (Time, bool) {
+	for len(r.queue) > 0 {
+		if r.queue[0].dead {
+			heap.Pop(&r.queue)
+			continue
+		}
+		return r.queue[0].at, true
+	}
+	return 0, false
+}

@@ -154,7 +154,7 @@ func runFaultsLossRun(art *fig89Artifact, cfg FaultsConfig,
 	members []topology.NodeID, loss float64, repair bool, seed int) faultsLossObs {
 
 	s := faultsCore(art.center, repair)
-	n := netsim.New(art.g, s)
+	n := newNetwork(art.g, s)
 	lossUntil := des.Time(cfg.SimTime / 2)
 	n.InstallFaults(netsim.FaultPlan{
 		ControlLoss: loss,
@@ -233,7 +233,7 @@ func runFaultsRecoveryRun(art *fig89Artifact, cfg FaultsConfig,
 	members []topology.NodeID, seed int) faultsRecoveryObs {
 
 	s := faultsCore(art.center, true)
-	n := netsim.New(art.g, s)
+	n := newNetwork(art.g, s)
 	f := n.InstallFaults(netsim.FaultPlan{Seed: int64(seed)*31 + 7})
 	for i, m := range members {
 		m := m

@@ -1,0 +1,13 @@
+package experiment
+
+import (
+	"scmp/internal/netsim"
+	"scmp/internal/topology"
+)
+
+// newNetwork constructs the simulation network every experiment run
+// uses. It exists as a seam for the differential-equivalence gate,
+// which swaps in netsim.NewRef to replay the same workloads over the
+// preserved reference data plane and assert byte-identical reports
+// (dataplane_test.go); production code never reassigns it.
+var newNetwork func(*topology.Graph, netsim.Protocol) *netsim.Network = netsim.New

@@ -6,7 +6,6 @@ import (
 	"scmp/internal/rng"
 	"sort"
 
-	"scmp/internal/netsim"
 	"scmp/internal/packet"
 	"scmp/internal/runner"
 	"scmp/internal/stats"
@@ -102,7 +101,7 @@ func RunState(cfg StateConfig) []StatePoint {
 			}
 			for _, protoName := range Protocols {
 				proto := buildProtocol(protoName, center, 1000 /* prunes persist: measure steady state */)
-				n := netsim.New(g, proto)
+				n := newNetwork(g, proto)
 				for gi, plan := range plans {
 					gid := packet.GroupID(gi + 1)
 					for _, m := range plan.members {

@@ -170,3 +170,28 @@ func CheckFabric(c *fabric.Configuration) error {
 	}
 	return nil
 }
+
+// CheckEventSlot validates one pooled DES event at dispatch time,
+// guarding the free-list recycling scheme the zero-allocation scheduler
+// rests on (DESIGN.md §10). entryGen is the generation stamped into the
+// heap entry when the slot was enqueued; slotGen is the slot's current
+// generation; at and now are the event's firing time and the clock
+// before dispatch. The parameters are primitives because the DES sits
+// below this package in the import graph — its invariants hook passes
+// the fields, not the types.
+//
+// A generation mismatch at the head of the heap means a slot was
+// recycled while a heap entry still pointed at it — the use-after-free
+// this scheme exists to make impossible: a recycled slot's payload
+// belongs to a different, later event, so dispatching it would fire a
+// cancelled (or already-fired) callback with another event's arguments.
+// Time running backwards means the heap order itself broke.
+func CheckEventSlot(entryGen, slotGen uint32, at, now float64) error {
+	if entryGen != slotGen {
+		return fmt.Errorf("invariant: DES slot recycled under a queued event (entry gen %d, slot gen %d)", entryGen, slotGen)
+	}
+	if at < now {
+		return fmt.Errorf("invariant: DES dispatch would run time backwards (event at %g, clock %g)", at, now)
+	}
+	return nil
+}

@@ -25,18 +25,30 @@ func MkLinkID(u, v topology.NodeID) LinkID {
 
 // Collector accumulates one simulation run's metrics. The zero value is
 // ready to use.
+//
+// The per-kind counters are fixed-size arrays indexed by packet.Kind
+// (kinds are dense from 0), so the per-crossing hot path touches no
+// maps. Per-link load has two stores: callers that registered the
+// topology's link table up front (UseDenseLinks) count crossings in a
+// dense slice via OnLinkDense; OnLink falls back to a map keyed by
+// LinkID. The read accessors merge both, so either path — or a mix —
+// yields identical reports.
 type Collector struct {
 	dataUnits  float64
 	protoUnits float64
 	dataBytes  int64
 	protoBytes int64
-	crossings  map[packet.Kind]int64
+	crossings  [packet.NumKinds]int64
 	linkLoad   map[LinkID]int64
+
+	denseIDs  []LinkID         // undirected link id per dense index
+	denseLoad []int64          // crossings per dense index
+	denseIdx  map[LinkID]int32 // reverse lookup for point queries
 
 	delivered int64
 	dropped   int64 // data-class packets discarded
 	ctlDrops  int64 // control-class packets discarded or lost
-	dropsKind map[packet.Kind]int64
+	dropsKind [packet.NumKinds]int64
 	delaySum  float64
 	maxDelay  float64
 
@@ -45,17 +57,42 @@ type Collector struct {
 	recoveryMax float64
 }
 
+// UseDenseLinks registers the run's undirected link table, enabling the
+// index-addressed OnLinkDense path. ids[i] is the link the caller will
+// report as dense index i. Call once before the run; Reset clears the
+// registration.
+func (c *Collector) UseDenseLinks(ids []LinkID) {
+	if c.denseLoad != nil {
+		panic("metrics: dense link table registered twice")
+	}
+	c.denseIDs = append([]LinkID(nil), ids...)
+	c.denseLoad = make([]int64, len(ids))
+	c.denseIdx = make(map[LinkID]int32, len(ids))
+	for i, id := range c.denseIDs {
+		c.denseIdx[id] = int32(i)
+	}
+}
+
 // OnLink records one packet of the given kind and byte size crossing
 // the link {from,to} of the given cost.
 func (c *Collector) OnLink(from, to topology.NodeID, kind packet.Kind, cost float64, bytes int) {
-	if c.crossings == nil {
-		c.crossings = make(map[packet.Kind]int64)
-	}
 	if c.linkLoad == nil {
 		c.linkLoad = make(map[LinkID]int64)
 	}
-	c.crossings[kind]++
 	c.linkLoad[MkLinkID(from, to)]++
+	c.onCrossing(kind, cost, bytes)
+}
+
+// OnLinkDense is OnLink for callers that registered the link table: the
+// crossing is counted at dense index uid with no map operation or
+// LinkID normalisation on the hot path.
+func (c *Collector) OnLinkDense(uid int32, kind packet.Kind, cost float64, bytes int) {
+	c.denseLoad[uid]++
+	c.onCrossing(kind, cost, bytes)
+}
+
+func (c *Collector) onCrossing(kind packet.Kind, cost float64, bytes int) {
+	c.crossings[kind]++
 	if packet.ClassOf(kind) == packet.ClassData {
 		c.dataUnits += cost
 		c.dataBytes += int64(bytes)
@@ -83,9 +120,6 @@ func (c *Collector) OnDeliver(delay float64) {
 // experiments can report exactly which control messages the network
 // ate.
 func (c *Collector) OnDrop(kind packet.Kind) {
-	if c.dropsKind == nil {
-		c.dropsKind = make(map[packet.Kind]int64)
-	}
 	c.dropsKind[kind]++
 	if packet.ClassOf(kind) == packet.ClassData {
 		c.dropped++
@@ -124,7 +158,26 @@ func (c *Collector) Crossings(k packet.Kind) int64 { return c.crossings[k] }
 // LinkLoad returns how many packets (all classes) crossed the
 // undirected link {u,v}.
 func (c *Collector) LinkLoad(u, v topology.NodeID) int64 {
-	return c.linkLoad[MkLinkID(u, v)]
+	id := MkLinkID(u, v)
+	n := c.linkLoad[id]
+	if i, ok := c.denseIdx[id]; ok {
+		n += c.denseLoad[i]
+	}
+	return n
+}
+
+// loadByLink merges the dense and map link counters into one map.
+func (c *Collector) loadByLink() map[LinkID]int64 {
+	merged := make(map[LinkID]int64, len(c.linkLoad)+len(c.denseIDs))
+	for id, n := range c.linkLoad {
+		merged[id] = n
+	}
+	for i, n := range c.denseLoad {
+		if n != 0 {
+			merged[c.denseIDs[i]] += n
+		}
+	}
+	return merged
 }
 
 // MaxLinkLoad returns the most-crossed link and its packet count, or a
@@ -132,8 +185,9 @@ func (c *Collector) LinkLoad(u, v topology.NodeID) int64 {
 func (c *Collector) MaxLinkLoad() (LinkID, int64) {
 	var best LinkID
 	var max int64
-	ids := make([]LinkID, 0, len(c.linkLoad))
-	for id := range c.linkLoad {
+	load := c.loadByLink()
+	ids := make([]LinkID, 0, len(load))
+	for id := range load {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool {
@@ -143,7 +197,7 @@ func (c *Collector) MaxLinkLoad() (LinkID, int64) {
 		return ids[i].B < ids[j].B
 	})
 	for _, id := range ids {
-		if n := c.linkLoad[id]; n > max {
+		if n := load[id]; n > max {
 			best, max = id, n
 		}
 	}
@@ -157,6 +211,11 @@ func (c *Collector) NodeLoad(v topology.NodeID) int64 {
 	var sum int64
 	for id, n := range c.linkLoad {
 		if id.A == v || id.B == v {
+			sum += n
+		}
+	}
+	for i, n := range c.denseLoad {
+		if id := c.denseIDs[i]; id.A == v || id.B == v {
 			sum += n
 		}
 	}
@@ -177,13 +236,15 @@ func (c *Collector) DroppedControl() int64 { return c.ctlDrops }
 func (c *Collector) DroppedByKind(k packet.Kind) int64 { return c.dropsKind[k] }
 
 // DropKinds returns the packet kinds with at least one drop, sorted by
-// kind value for deterministic reports.
+// kind value for deterministic reports (the array scan is ascending by
+// construction).
 func (c *Collector) DropKinds() []packet.Kind {
-	out := make([]packet.Kind, 0, len(c.dropsKind))
-	for k := range c.dropsKind {
-		out = append(out, k)
+	var out []packet.Kind
+	for k, n := range c.dropsKind {
+		if n != 0 {
+			out = append(out, packet.Kind(k))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"scmp/internal/packet"
+	"scmp/internal/topology"
 )
 
 func TestClassSplit(t *testing.T) {
@@ -142,4 +143,98 @@ func TestReset(t *testing.T) {
 	if c.Crossings(packet.Join) != 1 {
 		t.Fatal("collector unusable after Reset")
 	}
+}
+
+// The dense per-link fast path must account identically to the
+// map-keyed OnLink path: every crossing replayed through both stores
+// yields the same totals, per-kind counts, link loads and node loads.
+func TestDensePathMatchesMapAccounting(t *testing.T) {
+	type crossing struct {
+		u, v  topology.NodeID
+		kind  packet.Kind
+		cost  float64
+		bytes int
+	}
+	crossings := []crossing{
+		{0, 1, packet.Data, 5, 1000},
+		{1, 0, packet.Data, 5, 1000}, // reverse direction, same link
+		{1, 2, packet.Tree, 3, 128},
+		{2, 3, packet.Join, 2, 64},
+		{1, 2, packet.EncapData, 3, 1000},
+		{0, 1, packet.Prune, 5, 64},
+		{2, 3, packet.Data, 2, 500},
+	}
+	links := []LinkID{MkLinkID(0, 1), MkLinkID(1, 2), MkLinkID(2, 3)}
+
+	var byMap, byDense Collector
+	byDense.UseDenseLinks(links)
+	uid := map[LinkID]int32{}
+	for i, id := range links {
+		uid[id] = int32(i)
+	}
+	for _, x := range crossings {
+		byMap.OnLink(x.u, x.v, x.kind, x.cost, x.bytes)
+		byDense.OnLinkDense(uid[MkLinkID(x.u, x.v)], x.kind, x.cost, x.bytes)
+	}
+
+	if byMap.DataOverhead() != byDense.DataOverhead() ||
+		byMap.ProtocolOverhead() != byDense.ProtocolOverhead() {
+		t.Fatalf("overhead mismatch: map %g/%g dense %g/%g",
+			byMap.DataOverhead(), byMap.ProtocolOverhead(),
+			byDense.DataOverhead(), byDense.ProtocolOverhead())
+	}
+	if byMap.DataBytes() != byDense.DataBytes() || byMap.ProtocolBytes() != byDense.ProtocolBytes() {
+		t.Fatal("byte totals mismatch")
+	}
+	for k := 0; k < packet.NumKinds; k++ {
+		if byMap.Crossings(packet.Kind(k)) != byDense.Crossings(packet.Kind(k)) {
+			t.Fatalf("crossings(%v) mismatch", packet.Kind(k))
+		}
+	}
+	for _, id := range links {
+		if byMap.LinkLoad(id.A, id.B) != byDense.LinkLoad(id.A, id.B) {
+			t.Fatalf("link load mismatch on %v", id)
+		}
+	}
+	for v := topology.NodeID(0); v < 4; v++ {
+		if byMap.NodeLoad(v) != byDense.NodeLoad(v) {
+			t.Fatalf("node load mismatch at %d", v)
+		}
+	}
+	idM, nM := byMap.MaxLinkLoad()
+	idD, nD := byDense.MaxLinkLoad()
+	if idM != idD || nM != nD {
+		t.Fatalf("max link load mismatch: map %v/%d dense %v/%d", idM, nM, idD, nD)
+	}
+}
+
+// A collector fed through both paths at once (the mixed case: the fast
+// data plane counts densely while a test harness calls OnLink) merges
+// the stores in every accessor.
+func TestMixedDenseAndMapStores(t *testing.T) {
+	var c Collector
+	c.UseDenseLinks([]LinkID{MkLinkID(0, 1)})
+	c.OnLinkDense(0, packet.Data, 1, 100)
+	c.OnLink(0, 1, packet.Data, 1, 100)
+	c.OnLink(1, 2, packet.Data, 1, 100)
+	if got := c.LinkLoad(0, 1); got != 2 {
+		t.Fatalf("merged LinkLoad(0,1) = %d, want 2", got)
+	}
+	if got := c.NodeLoad(1); got != 3 {
+		t.Fatalf("merged NodeLoad(1) = %d, want 3", got)
+	}
+	if id, n := c.MaxLinkLoad(); id != MkLinkID(0, 1) || n != 2 {
+		t.Fatalf("merged MaxLinkLoad = %v/%d", id, n)
+	}
+}
+
+func TestUseDenseLinksTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double registration")
+		}
+	}()
+	var c Collector
+	c.UseDenseLinks([]LinkID{MkLinkID(0, 1)})
+	c.UseDenseLinks([]LinkID{MkLinkID(0, 1)})
 }

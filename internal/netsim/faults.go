@@ -270,7 +270,7 @@ func (f *Faults) rereport(node topology.NodeID) {
 	}
 	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 	for _, g := range gids {
-		if f.net.members[g][node] {
+		if f.net.members[g].has(node) {
 			f.net.Proto.HostJoin(node, g)
 		}
 	}

@@ -5,11 +5,21 @@
 // routing protocol" every domain is assumed to run), metrics accounting
 // per the paper's definitions, and ground-truth delivery tracking so
 // tests can assert exactly-once delivery to every group member.
+//
+// The steady-state forwarding path is allocation-free: in-flight packet
+// copies come from a free-list pool and are handed back after delivery,
+// link crossings are scheduled through the DES typed-sink path (no
+// closure per hop), per-link state (busy horizons, load counters) is
+// indexed by dense CSR arc id, and membership/delivery ground truth
+// lives in bitsets. The historical closure-based delivery path is
+// preserved behind NewRef for the differential-equivalence gate; both
+// paths perform the same operations in the same order, so runs are
+// byte-identical (DESIGN.md §10).
 package netsim
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"scmp/internal/des"
 	"scmp/internal/metrics"
@@ -19,6 +29,9 @@ import (
 
 // Packet is one simulated packet. Protocols never mutate a received
 // packet; forwarding goes through Network.SendLink, which copies it.
+// A delivered packet (and its Payload) must not be retained past
+// HandlePacket: the simulator recycles the copy once the handler
+// returns.
 type Packet struct {
 	Kind    packet.Kind
 	Group   packet.GroupID
@@ -53,10 +66,49 @@ type Protocol interface {
 	SendData(src topology.NodeID, g packet.GroupID, size int, seq uint64)
 }
 
-// delivery tracks who should and did receive one data packet.
+// nodeSet is a fixed-capacity bitset over router ids.
+type nodeSet []uint64
+
+func newNodeSet(n int) nodeSet { return make(nodeSet, (n+63)/64) }
+
+func (s nodeSet) has(v topology.NodeID) bool { return s[v>>6]&(1<<(uint(v)&63)) != 0 }
+func (s nodeSet) set(v topology.NodeID)      { s[v>>6] |= 1 << (uint(v) & 63) }
+func (s nodeSet) clear(v topology.NodeID)    { s[v>>6] &^= 1 << (uint(v) & 63) }
+
+// count returns the number of set bits.
+func (s nodeSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// appendIDs appends the set members in ascending order.
+func (s nodeSet) appendIDs(out []topology.NodeID) []topology.NodeID {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, topology.NodeID(wi<<6+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// delivery tracks who should and did receive one data packet: the
+// member snapshot at send time, who has received it at least once, and
+// who received it more than once. Three bitsets in one backing slice —
+// the per-data-packet bookkeeping is one allocation, and the per-hop
+// DeliverLocal path is two word operations.
 type delivery struct {
-	expected map[topology.NodeID]bool
-	received map[topology.NodeID]int
+	exp, once, dup nodeSet
+}
+
+func newDelivery(n int) *delivery {
+	w := (n + 63) / 64
+	backing := make(nodeSet, 3*w)
+	return &delivery{exp: backing[:w], once: backing[w : 2*w], dup: backing[2*w:]}
 }
 
 // Network is one simulated domain.
@@ -68,11 +120,12 @@ type Network struct {
 	Proto   Protocol
 
 	seq        uint64
-	members    map[packet.GroupID]map[topology.NodeID]bool
+	members    map[packet.GroupID]nodeSet
 	deliveries map[uint64]*delivery
 
 	// Trace, when set, observes every link crossing (for debugging and
-	// the examples' live narration).
+	// the examples' live narration). The *Packet argument is only valid
+	// for the duration of the call.
 	Trace func(from, to topology.NodeID, pkt *Packet)
 
 	// Bandwidth, when positive, gives every link a finite capacity in
@@ -81,6 +134,20 @@ type Network struct {
 	// + propagation — the paper's three-component link delay. Zero (the
 	// default) models infinite capacity: propagation only.
 	Bandwidth float64
+
+	// Fast-path state: the CSR arc table (directed edge ids), each arc's
+	// undirected link index for dense metrics, per-arc busy horizons
+	// (allocated on first finite-Bandwidth send), and the free list of
+	// in-flight packet copies.
+	csr    *topology.CSR
+	arcUID []int32
+	busy   []des.Time
+	pool   []*Packet
+
+	// refMode routes SendLink/SendUnicast through the preserved
+	// closure-per-hop delivery path (NewRef); busyUntil is its historical
+	// map-keyed busy-horizon store.
+	refMode   bool
 	busyUntil map[dirLink]des.Time
 
 	faults *Faults
@@ -89,26 +156,126 @@ type Network struct {
 // dirLink is a directed link (queueing is per transmit side).
 type dirLink struct{ from, to topology.NodeID }
 
+// Sink operation codes for typed delivery events.
+const (
+	opDeliver uint8 = iota // one link hop: deliver to the protocol at b
+	opUnicast              // unicast relay: forward again unless b == Dst
+	opSelf                 // self-delivery of a locally injected packet
+)
+
 // New builds a network over g running proto. It precomputes the unicast
-// next-hop tables and attaches the protocol.
+// next-hop tables, registers the link table with the metrics collector,
+// and attaches the protocol.
 func New(g *topology.Graph, proto Protocol) *Network {
+	return build(g, proto, false)
+}
+
+// NewRef builds a network identical to New's except that packets flow
+// through the reference scheduler and the historical closure-based
+// delivery path. Test-only: the differential gate runs workloads on
+// both and asserts byte-identical results.
+func NewRef(g *topology.Graph, proto Protocol) *Network {
+	return build(g, proto, true)
+}
+
+func build(g *topology.Graph, proto Protocol, ref bool) *Network {
 	n := &Network{
 		G:          g,
-		Sched:      des.New(),
 		Metrics:    &metrics.Collector{},
 		Next:       topology.NextHop(g),
 		Proto:      proto,
-		members:    make(map[packet.GroupID]map[topology.NodeID]bool),
+		members:    make(map[packet.GroupID]nodeSet),
 		deliveries: make(map[uint64]*delivery),
-		busyUntil:  make(map[dirLink]des.Time),
+		refMode:    ref,
+	}
+	if ref {
+		n.Sched = des.NewRef()
+		n.busyUntil = make(map[dirLink]des.Time)
+	} else {
+		n.Sched = des.New()
+		n.Sched.SetSink(n)
+		n.csr = g.CSR()
+		// Assign every directed arc its undirected link index, in CSR
+		// scan order, and register the table for dense load counting.
+		uidOf := make(map[metrics.LinkID]int32, g.M())
+		ids := make([]metrics.LinkID, 0, g.M())
+		n.arcUID = make([]int32, n.csr.NumArcs())
+		for u := 0; u < g.N(); u++ {
+			lo, hi := n.csr.Row(topology.NodeID(u))
+			for i := lo; i < hi; i++ {
+				id := metrics.MkLinkID(topology.NodeID(u), n.csr.ArcDst(i))
+				idx, ok := uidOf[id]
+				if !ok {
+					idx = int32(len(ids))
+					ids = append(ids, id)
+					uidOf[id] = idx
+				}
+				n.arcUID[i] = idx
+			}
+		}
+		n.Metrics.UseDenseLinks(ids)
 	}
 	proto.Attach(n)
 	return n
 }
 
-// linkLatency returns when a packet offered now on from->to is
-// delivered, accounting for queueing and transmission when a finite
-// Bandwidth is set, and updates the link's busy horizon.
+// IsRef reports whether this network runs the reference delivery path.
+func (n *Network) IsRef() bool { return n.refMode }
+
+// getPacket takes a packet from the free list (or allocates one).
+func (n *Network) getPacket() *Packet {
+	if k := len(n.pool); k > 0 {
+		p := n.pool[k-1]
+		n.pool = n.pool[:k-1]
+		return p
+	}
+	return new(Packet)
+}
+
+// putPacket hands a delivered in-flight copy back to the free list. The
+// payload reference is dropped (payload backing arrays are shared
+// read-only with other in-flight copies and must not be reused).
+func (n *Network) putPacket(p *Packet) {
+	p.Payload = nil
+	n.pool = append(n.pool, p)
+}
+
+// arc returns the CSR arc index from -> to, or -1 when not adjacent.
+// Same linear neighbour scan (and scan order) as Graph.Edge, over flat
+// arrays.
+func (n *Network) arc(from, to topology.NodeID) int32 {
+	lo, hi := n.csr.Row(from)
+	for i := lo; i < hi; i++ {
+		if n.csr.ArcDst(i) == to {
+			return i
+		}
+	}
+	return -1
+}
+
+// arcLatency returns when a packet offered now on arc a is delivered,
+// accounting for queueing and transmission when a finite Bandwidth is
+// set, and updates the arc's busy horizon. Identical arithmetic, in the
+// same order, as the reference path's linkLatency.
+func (n *Network) arcLatency(a int32, size int) des.Time {
+	now := n.Sched.Now()
+	if n.Bandwidth <= 0 {
+		return now + des.Time(n.csr.ArcDelay(a))
+	}
+	if n.busy == nil {
+		n.busy = make([]des.Time, n.csr.NumArcs())
+	}
+	start := now
+	if b := n.busy[a]; b > start {
+		start = b
+	}
+	tx := des.Time(float64(size) / n.Bandwidth)
+	n.busy[a] = start + tx
+	return start + tx + des.Time(n.csr.ArcDelay(a))
+}
+
+// linkLatency is the reference path's busy-horizon bookkeeping, kept on
+// the historical map store.
 func (n *Network) linkLatency(from, to topology.NodeID, propagation float64, size int) des.Time {
 	now := n.Sched.Now()
 	if n.Bandwidth <= 0 {
@@ -174,6 +341,114 @@ func (n *Network) arrived(from, to topology.NodeID, kind packet.Kind, lost bool)
 // it accounts the link crossing and schedules HandlePacket at the
 // far end after the link delay.
 func (n *Network) SendLink(from, to topology.NodeID, pkt *Packet) {
+	if n.refMode {
+		n.sendLinkRef(from, to, pkt)
+		return
+	}
+	a := n.arc(from, to)
+	if a < 0 {
+		panic(fmt.Sprintf("netsim: SendLink %d->%d not adjacent", from, to))
+	}
+	admitted, lost := n.admit(from, to, pkt.Kind)
+	if !admitted {
+		return
+	}
+	cp := n.getPacket()
+	*cp = *pkt // Payload shared read-only
+	cp.From = from
+	n.Metrics.OnLinkDense(n.arcUID[a], cp.Kind, n.csr.ArcCost(a), cp.Size)
+	if n.Trace != nil {
+		n.Trace(from, to, cp)
+	}
+	n.Sched.AtSink(n.arcLatency(a, cp.Size), opDeliver, int32(from), int32(to), cp, lost)
+}
+
+// SinkEvent dispatches a typed delivery event; it implements des.Sink
+// and is invoked only by the scheduler.
+func (n *Network) SinkEvent(op uint8, a, b int32, p any, flag bool) {
+	pkt := p.(*Packet)
+	from, to := topology.NodeID(a), topology.NodeID(b)
+	switch op {
+	case opDeliver:
+		if n.arrived(from, to, pkt.Kind, flag) {
+			n.Proto.HandlePacket(to, pkt)
+		}
+		n.putPacket(pkt)
+	case opUnicast:
+		if !n.arrived(from, to, pkt.Kind, flag) {
+			n.putPacket(pkt)
+			return
+		}
+		if to == pkt.Dst {
+			n.Proto.HandlePacket(to, pkt)
+			n.putPacket(pkt)
+			return
+		}
+		n.unicastStep(to, pkt)
+	case opSelf:
+		n.Proto.HandlePacket(to, pkt)
+		n.putPacket(pkt)
+	}
+}
+
+// SendUnicast routes a copy of pkt hop-by-hop from src to pkt.Dst along
+// the unicast substrate. Intermediate routers forward below the
+// multicast protocol (the crossing is accounted but HandlePacket fires
+// only at the destination). Delivering to self is immediate.
+func (n *Network) SendUnicast(src topology.NodeID, pkt *Packet) {
+	if n.refMode {
+		n.sendUnicastRef(src, pkt)
+		return
+	}
+	cp := n.getPacket()
+	*cp = *pkt
+	if src == cp.Dst {
+		cp.From = src
+		n.Sched.AtSink(n.Sched.Now(), opSelf, int32(src), int32(src), cp, false)
+		return
+	}
+	n.unicastStep(src, cp)
+}
+
+// unicastStep forwards an owned in-flight copy one hop toward its
+// destination, reusing the same pooled packet across all hops.
+func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
+	nh := n.Next.Hop(at, pkt.Dst)
+	if nh == -1 {
+		// With faults installed a partition is a legitimate runtime
+		// state: the packet dies here and the drop is accounted.
+		// Without faults an unreachable destination is a harness bug.
+		if n.faults != nil {
+			n.Metrics.OnDrop(pkt.Kind)
+			n.putPacket(pkt)
+			return
+		}
+		panic(fmt.Sprintf("netsim: no unicast route %d->%d", at, pkt.Dst))
+	}
+	admitted, lost := n.admit(at, nh, pkt.Kind)
+	if !admitted {
+		n.putPacket(pkt)
+		return
+	}
+	a := n.arc(at, nh)
+	pkt.From = at
+	n.Metrics.OnLinkDense(n.arcUID[a], pkt.Kind, n.csr.ArcCost(a), pkt.Size)
+	if n.Trace != nil {
+		n.Trace(at, nh, pkt)
+	}
+	n.Sched.AtSink(n.arcLatency(a, pkt.Size), opUnicast, int32(at), int32(nh), pkt, lost)
+}
+
+// --- reference delivery path (historical, test-only) -------------------
+//
+// The pre-pooling implementation, verbatim: a heap-allocated packet
+// copy and a capturing closure per hop. The differential gate runs
+// every experiment on both paths and compares output bytes; both
+// perform the same Edge lookup, admit draw, metrics account, Trace
+// call and schedule, in the same order, so the event and RNG streams
+// coincide exactly.
+
+func (n *Network) sendLinkRef(from, to topology.NodeID, pkt *Packet) {
 	l, ok := n.G.Edge(from, to)
 	if !ok {
 		panic(fmt.Sprintf("netsim: SendLink %d->%d not adjacent", from, to))
@@ -197,11 +472,7 @@ func (n *Network) SendLink(from, to topology.NodeID, pkt *Packet) {
 	})
 }
 
-// SendUnicast routes a copy of pkt hop-by-hop from src to pkt.Dst along
-// the unicast substrate. Intermediate routers forward below the
-// multicast protocol (the crossing is accounted but HandlePacket fires
-// only at the destination). Delivering to self is immediate.
-func (n *Network) SendUnicast(src topology.NodeID, pkt *Packet) {
+func (n *Network) sendUnicastRef(src topology.NodeID, pkt *Packet) {
 	dst := pkt.Dst
 	if src == dst {
 		cp := *pkt
@@ -209,15 +480,12 @@ func (n *Network) SendUnicast(src topology.NodeID, pkt *Packet) {
 		n.Sched.After(0, func() { n.Proto.HandlePacket(dst, &cp) })
 		return
 	}
-	n.unicastStep(src, pkt)
+	n.unicastStepRef(src, pkt)
 }
 
-func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
+func (n *Network) unicastStepRef(at topology.NodeID, pkt *Packet) {
 	nh := n.Next.Hop(at, pkt.Dst)
 	if nh == -1 {
-		// With faults installed a partition is a legitimate runtime
-		// state: the packet dies here and the drop is accounted.
-		// Without faults an unreachable destination is a harness bug.
 		if n.faults != nil {
 			n.Metrics.OnDrop(pkt.Kind)
 			return
@@ -242,7 +510,7 @@ func (n *Network) unicastStep(at topology.NodeID, pkt *Packet) {
 		if nh == cp.Dst {
 			n.Proto.HandlePacket(nh, &cp)
 		} else {
-			n.unicastStep(nh, &cp)
+			n.unicastStepRef(nh, &cp)
 		}
 	})
 }
@@ -265,32 +533,34 @@ func (n *Network) UnicastPath(src, dst topology.NodeID) []topology.NodeID {
 // and informs the protocol.
 func (n *Network) HostJoin(node topology.NodeID, g packet.GroupID) {
 	if n.members[g] == nil {
-		n.members[g] = make(map[topology.NodeID]bool)
+		n.members[g] = newNodeSet(n.G.N())
 	}
-	n.members[g][node] = true
+	n.members[g].set(node)
 	n.Proto.HostJoin(node, g)
 }
 
 // HostLeave removes the member-host edge at router node and informs the
 // protocol.
 func (n *Network) HostLeave(node topology.NodeID, g packet.GroupID) {
-	delete(n.members[g], node)
+	if m := n.members[g]; m != nil {
+		m.clear(node)
+	}
 	n.Proto.HostLeave(node, g)
 }
 
 // Members returns the ground-truth member routers of g, sorted.
 func (n *Network) Members(g packet.GroupID) []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(n.members[g]))
-	for v := range n.members[g] {
-		out = append(out, v)
+	m := n.members[g]
+	if m == nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.appendIDs(make([]topology.NodeID, 0, m.count()))
 }
 
 // IsMember reports ground-truth membership.
 func (n *Network) IsMember(node topology.NodeID, g packet.GroupID) bool {
-	return n.members[g][node]
+	m := n.members[g]
+	return m != nil && m.has(node)
 }
 
 // SendData injects one data packet at src for group g, snapshotting the
@@ -299,13 +569,10 @@ func (n *Network) IsMember(node topology.NodeID, g packet.GroupID) bool {
 func (n *Network) SendData(src topology.NodeID, g packet.GroupID, size int) uint64 {
 	n.seq++
 	seq := n.seq
-	exp := make(map[topology.NodeID]bool, len(n.members[g]))
-	for v := range n.members[g] {
-		if v != src { // a sending member does not deliver to itself over the network
-			exp[v] = true
-		}
-	}
-	n.deliveries[seq] = &delivery{expected: exp, received: make(map[topology.NodeID]int)}
+	d := newDelivery(n.G.N())
+	copy(d.exp, n.members[g])
+	d.exp.clear(src) // a sending member does not deliver to itself over the network
+	n.deliveries[seq] = d
 	n.Proto.SendData(src, g, size, seq)
 	return seq
 }
@@ -316,7 +583,11 @@ func (n *Network) SendData(src topology.NodeID, g packet.GroupID, size int) uint
 func (n *Network) DeliverLocal(node topology.NodeID, pkt *Packet) {
 	n.Metrics.OnDeliver(float64(n.Sched.Now() - pkt.Created))
 	if d := n.deliveries[pkt.Seq]; d != nil {
-		d.received[node]++
+		if d.once.has(node) {
+			d.dup.set(node)
+		} else {
+			d.once.set(node)
+		}
 	}
 }
 
@@ -326,25 +597,35 @@ func (n *Network) DropData() { n.Metrics.OnDrop(packet.Data) }
 // CheckDelivery compares a data packet's deliveries against the member
 // snapshot taken at send time. It returns the members that never
 // received it and the routers that received it more than once (or were
-// not expected to deliver at all).
+// not expected to deliver at all), each in ascending order.
 func (n *Network) CheckDelivery(seq uint64) (missing, anomalous []topology.NodeID) {
 	d := n.deliveries[seq]
 	if d == nil {
 		return nil, nil
 	}
-	for v := range d.expected {
-		if d.received[v] == 0 {
-			missing = append(missing, v)
+	for wi := range d.exp {
+		if miss := d.exp[wi] &^ d.once[wi]; miss != 0 {
+			missing = nodeSet{miss}.appendWord(missing, wi)
+		}
+		// Anomalous: delivered more than once, or delivered without
+		// being expected.
+		if anom := d.dup[wi] | (d.once[wi] &^ d.exp[wi]); anom != 0 {
+			anomalous = nodeSet{anom}.appendWord(anomalous, wi)
 		}
 	}
-	for v, c := range d.received {
-		if c > 1 || !d.expected[v] {
-			anomalous = append(anomalous, v)
-		}
-	}
-	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
-	sort.Slice(anomalous, func(i, j int) bool { return anomalous[i] < anomalous[j] })
 	return missing, anomalous
+}
+
+// appendWord appends the ids of the set bits of word s[0], offset as
+// word index wi, in ascending order.
+func (s nodeSet) appendWord(out []topology.NodeID, wi int) []topology.NodeID {
+	w := s[0]
+	for w != 0 {
+		b := bits.TrailingZeros64(w)
+		out = append(out, topology.NodeID(wi<<6+b))
+		w &= w - 1
+	}
+	return out
 }
 
 // Run drains all pending events (the network quiesces).

@@ -61,6 +61,11 @@ const (
 	CbtQuit
 )
 
+// NumKinds is the number of defined packet kinds. Kind values are dense
+// from 0, so hot-path per-kind counters can live in fixed-size arrays
+// indexed by Kind instead of maps (internal/metrics).
+const NumKinds = int(CbtQuit) + 1
+
 var kindNames = map[Kind]string{
 	Data: "DATA", EncapData: "ENCAP-DATA",
 	Join: "JOIN", Leave: "LEAVE", Tree: "TREE", Branch: "BRANCH",
@@ -129,19 +134,30 @@ type Child struct {
 
 // EncodeSubtree renders a Subtree in the paper's recursive TREE format.
 func EncodeSubtree(s Subtree) []byte {
-	buf := make([]byte, 0, 4+12*len(s.Children))
-	return appendSubtree(buf, s)
+	return AppendSubtree(make([]byte, 0, s.EncodedSize()), s)
 }
 
-func appendSubtree(buf []byte, s Subtree) []byte {
+// AppendSubtree appends the TREE encoding of s to buf and returns the
+// extended buffer. Subpacket lengths are precomputed (EncodedSize), so
+// the encode is one pass over the output with no temporary buffers —
+// the caller controls the only allocation.
+func AppendSubtree(buf []byte, s Subtree) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Children)))
 	for _, c := range s.Children {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(c.Addr))
-		sub := appendSubtree(nil, c.Sub)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(sub)))
-		buf = append(buf, sub...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c.Sub.EncodedSize()))
+		buf = AppendSubtree(buf, c.Sub)
 	}
 	return buf
+}
+
+// EncodedSize returns the exact byte length of s's TREE encoding.
+func (s Subtree) EncodedSize() int {
+	n := 4
+	for _, c := range s.Children {
+		n += 8 + c.Sub.EncodedSize()
+	}
+	return n
 }
 
 // ErrTruncated reports a TREE/BRANCH payload shorter than its headers
@@ -191,6 +207,90 @@ func decodeSubtree(b []byte) (Subtree, []byte, error) {
 	return s, b, nil
 }
 
+// ChildPayload pairs a downstream router with the verbatim TREE
+// sub-payload encoding the subtree below it.
+type ChildPayload struct {
+	Addr topology.NodeID
+	Sub  []byte
+}
+
+// SplitSubtree validates a TREE payload and splits it into its
+// immediate children, each paired with the sub-payload slice (aliasing
+// b) that encodes the subtree below it. The recursive format embeds
+// every child's encoding verbatim, so a router forwarding a TREE
+// packet hands those slices on unchanged — per-hop TREE forwarding
+// re-encodes nothing. Children are appended to out (pass a reusable
+// scratch slice to avoid allocation). The whole payload is walked, so
+// validation is as strict as DecodeSubtree's.
+func SplitSubtree(b []byte, out []ChildPayload) ([]ChildPayload, error) {
+	if len(b) < 4 {
+		return out, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 8 {
+			return out, ErrTruncated
+		}
+		addr := topology.NodeID(binary.BigEndian.Uint32(b))
+		subLen := binary.BigEndian.Uint32(b[4:])
+		b = b[8:]
+		if uint32(len(b)) < subLen {
+			return out, ErrTruncated
+		}
+		sub := b[:subLen:subLen]
+		if err := validateSubtree(sub); err != nil {
+			return out, err
+		}
+		b = b[subLen:]
+		out = append(out, ChildPayload{Addr: addr, Sub: sub})
+	}
+	if len(b) != 0 {
+		return out, fmt.Errorf("packet: %d trailing bytes after TREE payload", len(b))
+	}
+	return out, nil
+}
+
+// validateSubtree checks one subpacket is exactly one well-formed TREE
+// encoding, without materialising it.
+func validateSubtree(b []byte) error {
+	rest, err := skipSubtree(b)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("packet: %d trailing bytes after TREE subpacket", len(rest))
+	}
+	return nil
+}
+
+func skipSubtree(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		addr := topology.NodeID(binary.BigEndian.Uint32(b))
+		subLen := binary.BigEndian.Uint32(b[4:])
+		b = b[8:]
+		if uint32(len(b)) < subLen {
+			return nil, ErrTruncated
+		}
+		if err := validateSubtree(b[:subLen]); err != nil {
+			if err == ErrTruncated {
+				return nil, ErrTruncated
+			}
+			return nil, fmt.Errorf("packet: subpacket length mismatch at child %d", addr)
+		}
+		b = b[subLen:]
+	}
+	return b, nil
+}
+
 // TreeLike is the read-only view of a multicast tree that BuildSubtree
 // needs; *mtree.Tree satisfies it.
 type TreeLike interface {
@@ -226,7 +326,12 @@ func (s Subtree) CountNodes() int {
 
 // EncodeBranch renders the router sequence of a BRANCH packet.
 func EncodeBranch(path []topology.NodeID) []byte {
-	buf := binary.BigEndian.AppendUint32(nil, uint32(len(path)))
+	return AppendBranch(make([]byte, 0, 4+4*len(path)), path)
+}
+
+// AppendBranch appends the BRANCH encoding of path to buf.
+func AppendBranch(buf []byte, path []topology.NodeID) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(path)))
 	for _, v := range path {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
 	}
@@ -265,7 +370,12 @@ type AckInfo struct {
 
 // EncodeAck renders an ACK payload.
 func EncodeAck(a AckInfo) []byte {
-	buf := binary.BigEndian.AppendUint32(nil, uint32(a.Req))
+	return AppendAck(make([]byte, 0, 12), a)
+}
+
+// AppendAck appends the ACK encoding of a to buf.
+func AppendAck(buf []byte, a AckInfo) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.Req))
 	return binary.BigEndian.AppendUint64(buf, a.Seq)
 }
 
@@ -300,7 +410,12 @@ type RejoinInfo struct {
 
 // EncodeRejoin renders a REJOIN payload.
 func EncodeRejoin(r RejoinInfo) []byte {
-	buf := binary.BigEndian.AppendUint32(nil, uint32(r.Detached))
+	return AppendRejoin(make([]byte, 0, 8), r)
+}
+
+// AppendRejoin appends the REJOIN encoding of r to buf.
+func AppendRejoin(buf []byte, r RejoinInfo) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Detached))
 	return binary.BigEndian.AppendUint32(buf, uint32(r.Dead))
 }
 

@@ -137,6 +137,94 @@ func TestDecodeSubtreeErrors(t *testing.T) {
 	}
 }
 
+// SplitSubtree must hand out per-child slices byte-identical to
+// re-encoding each child's subtree — that equivalence is what lets the
+// TREE forwarding path slice instead of decode+encode.
+func TestSplitSubtreeMatchesReencode(t *testing.T) {
+	root := Subtree{Children: []Child{
+		{Addr: 4},
+		{Addr: 5, Sub: Subtree{Children: []Child{
+			{Addr: 7, Sub: Subtree{Children: []Child{{Addr: 9}}}},
+			{Addr: 8},
+		}}},
+	}}
+	enc := EncodeSubtree(root)
+	children, err := SplitSubtree(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != len(root.Children) {
+		t.Fatalf("split %d children, want %d", len(children), len(root.Children))
+	}
+	for i, c := range children {
+		if c.Addr != root.Children[i].Addr {
+			t.Fatalf("child %d addr = %d, want %d", i, c.Addr, root.Children[i].Addr)
+		}
+		if want := EncodeSubtree(root.Children[i].Sub); !bytes.Equal(c.Sub, want) {
+			t.Fatalf("child %d sub-payload = %x, want %x", i, c.Sub, want)
+		}
+	}
+}
+
+// SplitSubtree validates the full payload: everything DecodeSubtree
+// rejects, it rejects too (a corrupt TREE packet must be dropped at the
+// first hop, not forwarded).
+func TestSplitSubtreeRejectsWhatDecodeRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"short count":      {0, 0, 0},
+		"missing child":    {0, 0, 0, 1},
+		"truncated subpkt": append(binary.BigEndian.AppendUint32(binary.BigEndian.AppendUint32(binary.BigEndian.AppendUint32(nil, 1), 7), 10), 1, 2),
+		"trailing garbage": append(EncodeSubtree(Subtree{}), 0xFF),
+		"deep mismatch": func() []byte {
+			// Child 7's subpacket claims 5 bytes but holds a 4-byte leaf
+			// plus garbage: only a recursive walk catches it.
+			b := binary.BigEndian.AppendUint32(nil, 1)
+			b = binary.BigEndian.AppendUint32(b, 7)
+			b = binary.BigEndian.AppendUint32(b, 5)
+			return append(b, 0, 0, 0, 0, 0xFF)
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := SplitSubtree(b, nil); err == nil {
+			t.Errorf("%s: split accepted %v", name, b)
+		}
+		if _, err := DecodeSubtree(b); err == nil {
+			t.Errorf("%s: decode accepted %v", name, b)
+		}
+	}
+}
+
+// Property: SplitSubtree and DecodeSubtree agree on accept/reject for
+// arbitrary bytes, and on the child list when both accept.
+func TestPropertySplitAgreesWithDecode(t *testing.T) {
+	f := func(b []byte) bool {
+		dec, decErr := DecodeSubtree(b)
+		children, splitErr := SplitSubtree(b, nil)
+		if (decErr == nil) != (splitErr == nil) {
+			return false
+		}
+		if decErr != nil {
+			return true
+		}
+		if len(children) != len(dec.Children) {
+			return false
+		}
+		for i, c := range children {
+			if c.Addr != dec.Children[i].Addr {
+				return false
+			}
+			if !bytes.Equal(c.Sub, EncodeSubtree(dec.Children[i].Sub)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // randomSubtree builds a random subtree with up to depth levels.
 func randomSubtree(rng *rand.Rand, depth int, next *int) Subtree {
 	s := Subtree{}

@@ -67,3 +67,21 @@ func (g *Graph) CSR() *CSR {
 	}
 	return g.csr.Load()
 }
+
+// NumArcs returns the number of directed links (2M).
+func (c *CSR) NumArcs() int { return len(c.dst) }
+
+// Row returns the half-open arc-index range [lo, hi) of u's out-links.
+// Arc indices are stable for the life of the CSR and dense over all
+// directed links, so they serve as directed edge ids for per-link state
+// (the simulator's busy horizons).
+func (c *CSR) Row(u NodeID) (lo, hi int32) { return c.off[u], c.off[u+1] }
+
+// ArcDst returns the target of arc i.
+func (c *CSR) ArcDst(i int32) NodeID { return c.dst[i] }
+
+// ArcDelay returns the delay of arc i.
+func (c *CSR) ArcDelay(i int32) float64 { return c.delay[i] }
+
+// ArcCost returns the cost of arc i.
+func (c *CSR) ArcCost(i int32) float64 { return c.cost[i] }
