@@ -58,7 +58,9 @@ func newEntry() *entry {
 // Callers must not retain the slice across mutations.
 func (e *entry) down() []topology.NodeID {
 	if e.downDirty {
-		e.downCache = topology.SortedNodes(e.downstream)
+		// Rebuilt only after a downstream mutation (join/leave/prune), never
+		// per forwarded packet: the sort is amortized by the cache.
+		e.downCache = topology.SortedNodes(e.downstream) //scmplint:ignore hotalloc
 		e.downDirty = false
 	}
 	return e.downCache
@@ -926,6 +928,8 @@ func (s *SCMP) SendData(src topology.NodeID, g packet.GroupID, size int, seq uin
 
 // forwardOnTree sends pkt to upstream and all downstream except the one
 // it came from.
+//
+//scmplint:hotpath
 func (s *SCMP) forwardOnTree(node topology.NodeID, e *entry, pkt *netsim.Packet, except topology.NodeID) {
 	if e.upstream != noUpstream && e.upstream != except {
 		s.net.SendLink(node, e.upstream, pkt)
@@ -940,6 +944,8 @@ func (s *SCMP) forwardOnTree(node topology.NodeID, e *entry, pkt *netsim.Packet,
 // handleData implements the multicast packet forwarding procedure: if
 // the packet arrived from a router in F = {upstream} ∪ downstream,
 // forward it to the rest of F and deliver locally; otherwise drop it.
+//
+//scmplint:hotpath
 func (s *SCMP) handleData(node topology.NodeID, pkt *netsim.Packet) {
 	e := s.peekEntry(node, pkt.Group)
 	if e == nil || !e.onTree {

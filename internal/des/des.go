@@ -204,6 +204,8 @@ func (s *Scheduler) After(d Time, fn func()) *Event {
 // stored in the pooled slot, so a steady-state packet hop allocates
 // nothing (a *Packet in p is a pointer-shaped interface — no boxing).
 // Sink events return no handle; they cannot be cancelled.
+//
+//scmplint:hotpath
 func (s *Scheduler) AtSink(t Time, op uint8, a, b int32, p any, flag bool) {
 	if t < s.now {
 		panic("des: event scheduled in the past")
@@ -212,7 +214,9 @@ func (s *Scheduler) AtSink(t Time, op uint8, a, b int32, p any, flag bool) {
 		panic("des: AtSink without a sink installed")
 	}
 	if s.ref != nil {
-		s.ref.atSink(s, t, op, a, b, p, flag)
+		// The reference scheduler allocates by design (that comparison is
+		// the point of the differential gate); sever the hot-path edge.
+		s.ref.atSink(s, t, op, a, b, p, flag) //scmplint:ignore hotalloc
 		return
 	}
 	slot := s.alloc()
@@ -230,9 +234,12 @@ func (s *Scheduler) Halt() { s.halted = true }
 
 // Step executes the single earliest pending event. It returns false when
 // the queue is empty.
+//
+//scmplint:hotpath
 func (s *Scheduler) Step() bool {
 	if s.ref != nil {
-		return s.ref.step(s)
+		// Reference queue: allocating by design, outside the hot path.
+		return s.ref.step(s) //scmplint:ignore hotalloc
 	}
 	for len(s.heap) > 0 {
 		e := s.heap[0]
@@ -266,6 +273,8 @@ func (s *Scheduler) Step() bool {
 }
 
 // Run executes events until the queue is empty or Halt is called.
+//
+//scmplint:hotpath
 func (s *Scheduler) Run() {
 	s.halted = false
 	for !s.halted && s.Step() {
@@ -274,6 +283,8 @@ func (s *Scheduler) Run() {
 
 // RunUntil executes events with firing time <= deadline, then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
+//
+//scmplint:hotpath
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.halted = false
 	for !s.halted {
@@ -292,7 +303,8 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // cancelled ones.
 func (s *Scheduler) peek() (Time, bool) {
 	if s.ref != nil {
-		return s.ref.peek(s)
+		// Reference queue: allocating by design, outside the hot path.
+		return s.ref.peek(s) //scmplint:ignore hotalloc
 	}
 	for len(s.heap) > 0 {
 		e := s.heap[0]

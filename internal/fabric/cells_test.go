@@ -3,6 +3,7 @@ package fabric
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -134,11 +135,18 @@ func TestPropertySimulationConservation(t *testing.T) {
 				owner[in] = gid
 			}
 		}
-		// Random injections over 5 slots.
+		// Random injections over 5 slots. Inputs are visited in sorted
+		// order so the rng draws (and thus the generated case) are a pure
+		// function of the seed, not of map iteration order.
+		inputs := make([]int, 0, len(owner))
+		for in := range owner {
+			inputs = append(inputs, in)
+		}
+		sort.Ints(inputs)
 		injections := make([][]int, 5)
 		injected := 0
 		for s := range injections {
-			for in := range owner {
+			for _, in := range inputs {
 				if rng.Float64() < 0.5 {
 					injections[s] = append(injections[s], in)
 					injected++

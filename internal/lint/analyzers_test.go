@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotAllocCrossPackageFact proves the fact pipeline: the Facts phase
+// summarises scmp/internal/packet first (dependency order), and a hot
+// function in a later package calling packet.EncodeBranch — which
+// allocates its result — is reported at the call site.
+func TestHotAllocCrossPackageFact(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps, err := loader.Load("scmp/internal/packet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckSource("scmp/internal/lint/testdata/xpkg", map[string]string{
+		"scmp/internal/lint/testdata/xpkg/x.go": `
+package xpkg
+import (
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+//scmplint:hotpath
+func forward(path []topology.NodeID) []byte {
+	return packet.EncodeBranch(path)
+}`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(append(deps, pkg), []*Analyzer{HotAlloc})
+	var hit bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "call to scmp/internal/packet.EncodeBranch may allocate") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no cross-package allocation finding; got %v", diags)
+	}
+}
+
+// Appends under an ignore comment are excluded from the summary, so a
+// reviewed amortization does not poison transitive callers.
+func TestHotAllocIgnoredCalleeDoesNotPoison(t *testing.T) {
+	got := runOn(t, HotAlloc, "scmp/internal/lint/testdata/amortized", `
+package amortized
+type q struct{ buf []int }
+func (s *q) grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]int, n) //scmplint:ignore hotalloc
+	}
+}
+//scmplint:hotpath
+func (s *q) hot(n int) {
+	s.grow(n)
+}`)
+	wantFindings(t, got)
+}
+
+func TestNoClockRelaxedInTestFiles(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckSource("scmp/internal/experiment", map[string]string{
+		"scmp/internal/experiment/x_test.go": `
+package experiment
+import "math/rand"
+func mk(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func draw() int { return rand.Intn(10) }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range Check([]*Package{pkg}, []*Analyzer{NoClock}) {
+		got = append(got, d.String())
+	}
+	// rand.New/NewSource are the fixture idiom in tests; the globally
+	// seeded rand.Intn stays flagged everywhere.
+	wantFindings(t, got, "global rand.Intn")
+}
+
+func TestFloatCmpRelaxedInTestFiles(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckSource("scmp/internal/mtree", map[string]string{
+		"scmp/internal/mtree/x_test.go": `
+package mtree
+func bitExact(a, b float64) bool { return a == b }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check([]*Package{pkg}, []*Analyzer{FloatCmp}); len(diags) != 0 {
+		t.Fatalf("test-file equality flagged: %v", diags)
+	}
+}
+
+func TestLoaderIncludeTests(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load("scmp/internal/des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	des := pkgs[0]
+	var testFile, plainFile bool
+	for _, f := range des.Files {
+		name := des.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			testFile = true
+		} else {
+			plainFile = true
+		}
+	}
+	if !testFile || !plainFile {
+		t.Fatalf("in-package merge incomplete: test=%v plain=%v", testFile, plainFile)
+	}
+	if !des.Types.Complete() {
+		t.Fatal("merged package not type-checked")
+	}
+}
+
+func TestBaselineFilterAndJustification(t *testing.T) {
+	moduleDir := t.TempDir()
+	diag := func(file, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: "hotalloc", Message: msg}
+		d.Pos.Filename = filepath.Join(moduleDir, file)
+		d.Pos.Line = 10
+		return d
+	}
+	diags := []Diagnostic{
+		diag("a/a.go", "hot path: make allocates"),
+		diag("a/a.go", "hot path: make allocates"),
+		diag("b/b.go", "hot path: new allocates"),
+	}
+
+	// An empty baseline suppresses nothing.
+	empty := &Baseline{}
+	unsup, stale := empty.Filter(diags, moduleDir)
+	if len(unsup) != 3 || len(stale) != 0 {
+		t.Fatalf("empty baseline: unsuppressed=%d stale=%d", len(unsup), len(stale))
+	}
+
+	// NewBaseline aggregates by (analyzer, file, message) with counts and
+	// preserves justifications from the previous baseline.
+	prev := &Baseline{Entries: []BaselineEntry{{
+		Analyzer: "hotalloc", File: "a/a.go",
+		Message: "hot path: make allocates", Count: 1,
+		Justification: "warm-up only",
+	}}}
+	nb := NewBaseline(diags, moduleDir, prev)
+	if len(nb.Entries) != 2 {
+		t.Fatalf("entries = %+v", nb.Entries)
+	}
+	if nb.Entries[0].Count != 2 || nb.Entries[0].Justification != "warm-up only" {
+		t.Fatalf("aggregated entry = %+v", nb.Entries[0])
+	}
+	if got := nb.Unjustified(); len(got) != 1 || got[0].File != "b/b.go" {
+		t.Fatalf("unjustified = %+v", got)
+	}
+
+	// The baseline suppresses up to Count findings per key; leftover
+	// budget — a vanished finding or a shrunken count — is stale, with
+	// the stale entry carrying the unmatched remainder.
+	nb.Entries[1].Justification = "reviewed"
+	unsup, stale = nb.Filter(diags, moduleDir)
+	if len(unsup) != 0 || len(stale) != 0 {
+		t.Fatalf("full baseline: unsuppressed=%v stale=%v", unsup, stale)
+	}
+	unsup, stale = nb.Filter(diags[:1], moduleDir)
+	if len(unsup) != 0 || len(stale) != 2 {
+		t.Fatalf("after fix: unsuppressed=%v stale=%+v", unsup, stale)
+	}
+	if stale[0].File != "a/a.go" || stale[0].Count != 1 || stale[1].File != "b/b.go" {
+		t.Fatalf("stale remainders = %+v", stale)
+	}
+
+	// Round-trip through disk.
+	path := filepath.Join(moduleDir, ".scmplint-baseline.json")
+	if err := nb.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Entries[0].Justification != "warm-up only" {
+		t.Fatalf("round-trip = %+v", back.Entries)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A missing baseline loads empty.
+	none, err := LoadBaseline(filepath.Join(moduleDir, "absent.json"))
+	if err != nil || len(none.Entries) != 0 {
+		t.Fatalf("missing baseline: %v %+v", err, none)
+	}
+}
+
+// TestModuleIsLintClean is the self-check the CI gate relies on: the
+// full analyzer suite over every module package (tests included) must
+// report nothing beyond the checked-in baseline. Inline ignores are
+// applied by Check itself; the baseline layer is applied here exactly
+// as cmd/scmplint applies it.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(pkgs, Analyzers())
+	baseline, err := LoadBaseline(filepath.Join(loader.ModuleDir(), ".scmplint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unj := baseline.Unjustified(); len(unj) > 0 {
+		t.Errorf("baseline entries without justification: %+v", unj)
+	}
+	unsuppressed, stale := baseline.Filter(diags, loader.ModuleDir())
+	for _, d := range unsuppressed {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry: %+v", e)
+	}
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The suppression baseline is the reviewed debt ledger for the analyzer
+// suite: CI fails on any finding not covered here, so accepting a
+// finding is an explicit, justified, checked-in act rather than a
+// silently growing ignore list. Entries match on (analyzer, file,
+// message) — deliberately not line numbers, so unrelated edits above a
+// suppressed finding do not invalidate the baseline — and carry a
+// count, so a second instance of an already-suppressed message still
+// fails the build.
+
+// BaselineEntry suppresses up to Count findings with an exact
+// (analyzer, file, message) signature. Justification is the reviewer's
+// reason the finding is accepted; WriteBaseline preserves it across
+// regeneration and `make lint` refuses baselines with empty ones.
+type BaselineEntry struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"` // module-relative, slash-separated
+	Message       string `json:"message"`
+	Count         int    `json:"count"`
+	Justification string `json:"justification"`
+}
+
+// Baseline is a set of suppression entries, stored as indented JSON so
+// diffs review line-by-line.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error (new checkouts lint strictly by default).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Unjustified returns the entries with an empty Justification — the
+// driver rejects such baselines so every suppression states its reason.
+func (b *Baseline) Unjustified() []BaselineEntry {
+	var out []BaselineEntry
+	for _, e := range b.Entries {
+		if e.Justification == "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// Filter splits diags into the findings not covered by the baseline and
+// the baseline entries (or portions of their counts) that matched
+// nothing — stale suppressions the driver surfaces so the ledger cannot
+// rot. moduleDir relativizes diagnostic filenames to baseline form.
+func (b *Baseline) Filter(diags []Diagnostic, moduleDir string) (unsuppressed []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, moduleRel(moduleDir, d.Pos.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		unsuppressed = append(unsuppressed, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if budget[k] > 0 {
+			left := e.Count
+			if budget[k] < left {
+				left = budget[k]
+			}
+			budget[k] -= left
+			s := e
+			s.Count = left
+			stale = append(stale, s)
+		}
+	}
+	return unsuppressed, stale
+}
+
+// NewBaseline builds a baseline covering exactly the given findings,
+// carrying justifications over from prev for signatures it already
+// knew. New signatures get an empty justification, which the strict
+// driver rejects — forcing the author to write one.
+func NewBaseline(diags []Diagnostic, moduleDir string, prev *Baseline) *Baseline {
+	just := make(map[baselineKey]string)
+	if prev != nil {
+		for _, e := range prev.Entries {
+			if e.Justification != "" {
+				just[baselineKey{e.Analyzer, e.File, e.Message}] = e.Justification
+			}
+		}
+	}
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, moduleRel(moduleDir, d.Pos.Filename), d.Message}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	out := &Baseline{}
+	for _, k := range keys {
+		out.Entries = append(out.Entries, BaselineEntry{
+			Analyzer:      k.analyzer,
+			File:          k.file,
+			Message:       k.message,
+			Count:         counts[k],
+			Justification: just[k],
+		})
+	}
+	return out
+}
+
+// Write stores the baseline as indented JSON with a trailing newline.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// moduleRel converts an absolute diagnostic filename to the
+// slash-separated module-relative form baselines store.
+func moduleRel(moduleDir, filename string) string {
+	rel, err := filepath.Rel(moduleDir, filename)
+	if err != nil {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -16,7 +16,9 @@ import (
 // 0` sentinel checks) are exact and allowed; ordered comparisons are
 // allowed; ties must be broken with a `<`/`>` ladder or an explicit
 // epsilon. Genuinely intentional exact equality can carry a
-// "//scmplint:ignore floatcmp" comment.
+// "//scmplint:ignore floatcmp" comment. Test files (-tests mode) are
+// exempt: determinism tests assert bit-exact equality of independently
+// produced runs on purpose — that equality is the property under test.
 var FloatCmp = &Analyzer{
 	Name: "floatcmp",
 	Doc:  "flags ==/!= between non-constant floating-point delay/cost values",
@@ -50,6 +52,9 @@ func runFloatCmp(p *Pass) {
 			}
 			if isConstant(p, be.X) || isConstant(p, be.Y) {
 				return true // exact sentinel comparison, e.g. kappa == 0
+			}
+			if p.InTestFile(be.Pos()) {
+				return true // bit-exactness is often the property under test
 			}
 			p.Reportf(be.Pos(),
 				"floating-point %s between computed values (%s); order of summation can flip this — break ties with </> or compare with an epsilon",

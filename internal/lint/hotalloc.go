@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the PR 5 zero-allocation contract on the data-plane
+// hot paths. Functions annotated //scmplint:hotpath — and, transitively,
+// every function they statically call within the same package — must not
+// contain allocation-introducing constructs: composite literals taking
+// addresses, slice/map literals, make/new, append into function-local
+// slices (growth that pooling should have absorbed), closure literals,
+// interface boxing of non-pointer values, string concatenation, or calls
+// into allocating standard-library packages (fmt et al).
+//
+// Cross-package calls are checked through exported facts: the Facts
+// phase summarises, for every function in the module, whether it (or
+// anything it statically calls, transitively) allocates; a hot function
+// calling an allocating non-hot function is reported at the call site.
+// Allocations under a //scmplint:ignore hotalloc comment are amortized
+// by review (pool growth, one-time lazy init) and excluded from both
+// direct reports and summaries, so a reviewed amortized allocation does
+// not poison every transitive caller.
+//
+// Known false negatives (DESIGN.md §11): dynamic dispatch (interface
+// methods, function values) is invisible to the summary; value composite
+// literals that escape are not flagged (escape analysis is out of
+// scope); panic arguments are deliberately exempt — a dying process may
+// allocate its message.
+var HotAlloc = &Analyzer{
+	Name:  "hotalloc",
+	Doc:   "flags allocation-introducing constructs in //scmplint:hotpath functions and their callees",
+	Facts: runHotAllocFacts,
+	Run:   runHotAlloc,
+}
+
+// hotallocFact is the per-function summary exported for cross-package
+// call-site checks.
+type hotallocFact struct {
+	hot       bool // in the transitive intra-package closure of a hotpath annotation
+	allocates bool // body (or a transitive static callee) allocates, ignores excluded
+}
+
+// allocPkgs are standard-library packages whose exported functions
+// allocate as a matter of course; calling into them from a hot path is
+// reported without needing per-function summaries (the standard library
+// is outside the analyzed package set).
+var allocPkgs = map[string]bool{
+	"bufio": true, "bytes": true, "errors": true, "fmt": true,
+	"io": true, "log": true, "os": true, "regexp": true,
+	"sort": true, "strconv": true, "strings": true,
+}
+
+func runHotAllocFacts(p *Pass) {
+	funcs := packageFuncs(p)
+
+	// Seed the hot set from annotations, then close it over intra-package
+	// static calls: a hot function's helpers are part of the hot path
+	// whether or not they carry their own annotation. An ignore comment on
+	// the call severs the edge — that is how the deliberately-allocating
+	// reference scheduler stays out of the hot set behind its delegation
+	// calls.
+	hot := make(map[*types.Func]bool)
+	bodies := make(map[*types.Func]*ast.FuncDecl, len(funcs))
+	for _, fi := range funcs {
+		if fi.obj == nil {
+			continue
+		}
+		bodies[fi.obj] = fi.decl
+		if hasDirective(fi.decl, "hotpath") {
+			hot[fi.obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range hot {
+			decl := bodies[obj]
+			if decl == nil {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.ignoredAt(call.Pos(), p.Fset.Position(call.Pos()).Line) {
+					return true
+				}
+				callee := staticCallee(p.Info, call)
+				if callee == nil || callee.Pkg() != p.Pkg || hot[callee] {
+					return true
+				}
+				if _, local := bodies[callee]; local {
+					hot[callee] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Allocation summaries: direct allocations first (ignore comments
+	// excluded — a reviewed amortization is not an allocation for
+	// summary purposes), then a fixpoint over static call edges. Callees
+	// in already-summarised packages come from the fact store (the Facts
+	// phase runs in import dependency order).
+	direct := make(map[*types.Func]bool, len(funcs))
+	callees := make(map[*types.Func][]*types.Func, len(funcs))
+	for _, fi := range funcs {
+		if fi.obj == nil {
+			continue
+		}
+		found := false
+		forEachHotAllocation(p, fi.decl, func(pos token.Pos, format string, args ...any) {
+			found = true
+		})
+		direct[fi.obj] = found
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.ignoredAt(call.Pos(), p.Fset.Position(call.Pos()).Line) {
+				return true
+			}
+			if callee := staticCallee(p.Info, call); callee != nil {
+				callees[fi.obj] = append(callees[fi.obj], callee)
+			}
+			return true
+		})
+	}
+	allocates := make(map[*types.Func]bool, len(funcs))
+	for obj, d := range direct {
+		allocates[obj] = d
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range direct {
+			if allocates[obj] {
+				continue
+			}
+			for _, callee := range callees[obj] {
+				if callee.Pkg() == p.Pkg {
+					if allocates[callee] {
+						allocates[obj] = true
+						changed = true
+						break
+					}
+					continue
+				}
+				if f, ok := p.FactOf(callee).(hotallocFact); ok && f.allocates {
+					allocates[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for obj := range direct {
+		p.ExportFact(obj, hotallocFact{hot: hot[obj], allocates: allocates[obj]})
+	}
+}
+
+func runHotAlloc(p *Pass) {
+	for _, fi := range packageFuncs(p) {
+		if fi.obj == nil {
+			continue
+		}
+		f, ok := p.FactOf(fi.obj).(hotallocFact)
+		if !ok || !f.hot {
+			continue
+		}
+		forEachHotAllocation(p, fi.decl, p.Reportf)
+		checkHotCalls(p, fi.decl)
+	}
+}
+
+// checkHotCalls reports calls from a hot body to functions whose summary
+// says they allocate. Hot callees are skipped — their bodies are checked
+// directly — as are calls under an ignore comment.
+func checkHotCalls(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		if f, ok := p.FactOf(callee).(hotallocFact); ok && f.allocates && !f.hot {
+			p.Reportf(call.Pos(), "hot path: call to %s may allocate", callee.FullName())
+		}
+		return true
+	})
+}
+
+// forEachHotAllocation invokes emit for every allocation-introducing
+// construct in fn's body, applying the reviewed exemptions: panic
+// arguments, appends into non-local storage, ignore comments, value
+// struct literals. The same walk backs both diagnostics (emit =
+// Pass.Reportf) and the Facts summary (emit = set a flag).
+func forEachHotAllocation(p *Pass, fn *ast.FuncDecl, emit func(pos token.Pos, format string, args ...any)) {
+	// Caller-owned storage: the receiver, parameters and named results.
+	// (Scope identity can't distinguish these from top-level body locals —
+	// go/types puts both in the function scope — so collect the declared
+	// objects instead.)
+	callerOwned := make(map[types.Object]bool)
+	ownFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					callerOwned[obj] = true
+				}
+			}
+		}
+	}
+	ownFields(fn.Recv)
+	ownFields(fn.Type.Params)
+	ownFields(fn.Type.Results)
+	report := func(pos token.Pos, format string, args ...any) {
+		if p.ignoredAt(pos, p.Fset.Position(pos).Line) {
+			return
+		}
+		emit(pos, format, args...)
+	}
+	var reportedEnd token.Pos // subsume children of an already-reported construct
+	walk(fn.Body, func(n ast.Node, stack []ast.Node) {
+		if n == nil || n.Pos() < reportedEnd {
+			return
+		}
+		if insidePanicArg(p.Info, stack) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "hot path: &composite literal allocates")
+					reportedEnd = n.End()
+				}
+			}
+		case *ast.CompositeLit:
+			if t := p.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n.Pos(), "hot path: %s literal allocates", typeKindName(t))
+					reportedEnd = n.End()
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "hot path: closure literal allocates")
+			reportedEnd = n.End()
+		case *ast.GoStmt:
+			report(n.Pos(), "hot path: go statement allocates")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if tv, ok := p.Info.Types[ast.Expr(n)]; !ok || tv.Value == nil {
+							report(n.Pos(), "hot path: string concatenation allocates")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCallExpr(p, callerOwned, n, report)
+		}
+	})
+}
+
+func checkHotCallExpr(p *Pass, callerOwned map[types.Object]bool, call *ast.CallExpr, report func(pos token.Pos, format string, args ...any)) {
+	switch {
+	case isBuiltinCall(p.Info, call, "make"):
+		report(call.Pos(), "hot path: make allocates")
+		return
+	case isBuiltinCall(p.Info, call, "new"):
+		report(call.Pos(), "hot path: new allocates")
+		return
+	case isBuiltinCall(p.Info, call, "append"):
+		if len(call.Args) == 0 {
+			return
+		}
+		// Appending into a field, parameter, receiver, named result or
+		// package-level slice is the amortized pool-growth / caller-owned
+		// scratch idiom; appending into a plain body local is growth the
+		// pool should have absorbed.
+		dst := ast.Unparen(call.Args[0])
+		if _, isSel := dst.(*ast.SelectorExpr); isSel {
+			return
+		}
+		v := objOf(p.Info, dst)
+		if v == nil || isPackageLevel(v) || callerOwned[v] {
+			return
+		}
+		report(call.Pos(), "hot path: append to function-local %s may allocate; reuse pooled or caller-owned scratch", v.Name())
+		return
+	}
+	// Conversions: string<->[]byte/[]rune copy; boxing a non-pointer
+	// concrete value into an interface.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, p.TypeOf(call.Args[0])
+		if to != nil && from != nil {
+			if isStringSliceConv(to, from) {
+				report(call.Pos(), "hot path: %s conversion allocates", types.TypeString(to, types.RelativeTo(p.Pkg)))
+			} else if boxesIntoInterface(to, from) {
+				report(call.Pos(), "hot path: conversion boxes %s into interface", types.TypeString(from, types.RelativeTo(p.Pkg)))
+			}
+		}
+		return
+	}
+	if path, name, _, ok := selectorPkg(p.Info, call.Fun); ok && allocPkgs[path] {
+		report(call.Pos(), "hot path: call to %s.%s allocates", path, name)
+		return
+	}
+	// Boxing through interface-typed parameters of the called signature.
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 && !call.Ellipsis.IsValid() {
+			if s, ok := pt.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		at := p.TypeOf(arg)
+		if at != nil && boxesIntoInterface(pt, at) {
+			report(arg.Pos(), "hot path: boxing %s into interface argument allocates",
+				types.TypeString(at, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// boxesIntoInterface reports whether assigning a value of type from to
+// an interface of type to stores it in a heap-allocated box. Pointer-
+// shaped values (pointers, channels, maps, funcs) fit the interface data
+// word directly; everything else concrete is copied to the heap.
+func boxesIntoInterface(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch from.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// isStringSliceConv reports string([]byte), string([]rune), []byte(s),
+// []rune(s) — conversions that copy their operand.
+func isStringSliceConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteRuneSlice(from)) || (isByteRuneSlice(to) && isStr(from))
+}
+
+// typeKindName names a composite literal's kind for diagnostics.
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

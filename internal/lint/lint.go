@@ -5,12 +5,21 @@
 // packages, runs a suite of repo-specific analyzers over them, and
 // reports diagnostics. cmd/scmplint is the command-line driver.
 //
-// The analyzers guard the properties the whole reproduction depends on:
-// the m-router computes every tree centrally and ships it out in
-// self-routing packets, so a single nondeterministic map iteration or an
-// unchecked wall-clock read silently produces different trees (and
-// different Fig. 7-9 curves) run to run. See the individual analyzer
-// docs: maporder, noclock, desdiscipline, floatcmp.
+// The analyzers guard the properties the whole reproduction depends on.
+// The determinism suite (maporder, noclock, desdiscipline, floatcmp)
+// protects the m-router's centrally computed trees from run-to-run
+// divergence; the dataflow suite (poollife, hotalloc, detshared)
+// machine-checks the manually managed performance and concurrency
+// invariants the zero-allocation data plane and the parallel runner
+// rely on. See the individual analyzer docs and DESIGN.md §11.
+//
+// Framework shape: every analyzer has a Run pass that inspects one
+// type-checked package and reports diagnostics. An analyzer may also
+// have a Facts pass, which runs first over every package in import
+// dependency order and exports per-object facts (e.g. "this function
+// allocates"); Run passes — which execute in parallel across packages —
+// read those facts back to reason across package boundaries without
+// whole-program analysis.
 package lint
 
 import (
@@ -18,16 +27,23 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check. Run inspects a fully type-checked package
-// through the Pass and reports findings via Pass.Reportf.
+// through the Pass and reports findings via Pass.Reportf. Facts, when
+// non-nil, runs before any Run pass, over all packages in import
+// dependency order, and may export per-object facts via Pass.ExportFact
+// for Run passes (of the same analyzer) to read back with Pass.FactOf —
+// the cross-package channel of the dataflow analyzers.
 type Analyzer struct {
-	Name string // short lower-case identifier, used in output and ignore comments
-	Doc  string // one-line description
-	Run  func(*Pass)
+	Name  string // short lower-case identifier, used in output and ignore comments
+	Doc   string // one-line description
+	Run   func(*Pass)
+	Facts func(*Pass)
 }
 
 // Pass carries one package through one analyzer.
@@ -35,11 +51,13 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Path     string      // package import path ("scmp/internal/core")
-	Files    []*ast.File // non-test files of the default build
+	Files    []*ast.File // files of the analyzed build (test files included in -tests mode)
 	Pkg      *types.Package
 	Info     *types.Info
 
 	diags   *[]Diagnostic
+	mu      *sync.Mutex // guards diags when Run passes execute in parallel
+	facts   *factStore
 	ignores map[*ast.File]map[int][]string // line -> analyzer names ignored
 }
 
@@ -62,15 +80,74 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	if p.ignoredAt(pos, position.Line) {
 		return
 	}
-	*p.diags = append(*p.diags, Diagnostic{
+	d := Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if p.mu != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	*p.diags = append(*p.diags, d)
 }
 
 // TypeOf returns the type of e, nil when unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// InTestFile reports whether pos lies in a _test.go file (only possible
+// when the loader ran with IncludeTests). Analyzers use it to relax
+// rules that only bind production code — e.g. noclock permits locally
+// seeded rand construction in tests.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ExportFact records a fact about obj for this analyzer. Only meaningful
+// from a Facts pass; Run passes (any package) read it back with FactOf.
+func (p *Pass) ExportFact(obj types.Object, fact any) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	p.facts.put(p.Analyzer.Name, obj, fact)
+}
+
+// FactOf returns the fact this analyzer exported for obj, nil when none.
+func (p *Pass) FactOf(obj types.Object) any {
+	if p.facts == nil || obj == nil {
+		return nil
+	}
+	return p.facts.get(p.Analyzer.Name, obj)
+}
+
+// factStore holds every analyzer's exported facts for one Check run.
+// Writes happen only during the serial Facts phase; reads during the
+// parallel Run phase are lock-free on an immutable map by then, but the
+// mutex keeps the store safe under any future phase interleaving.
+type factStore struct {
+	mu sync.Mutex
+	m  map[string]map[types.Object]any
+}
+
+func (s *factStore) put(analyzer string, obj types.Object, fact any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]map[types.Object]any)
+	}
+	byObj := s.m[analyzer]
+	if byObj == nil {
+		byObj = make(map[types.Object]any)
+		s.m[analyzer] = byObj
+	}
+	byObj[obj] = fact
+}
+
+func (s *factStore) get(analyzer string, obj types.Object) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[analyzer][obj]
+}
 
 // ignoredAt reports whether an ignore comment covers line (or the line
 // above it) for this analyzer.
@@ -127,29 +204,71 @@ func parseIgnores(fset *token.FileSet, f *ast.File) map[int][]string {
 	return out
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order: the PR 1
+// determinism analyzers followed by the dataflow analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, NoClock, DESDiscipline, FloatCmp}
+	return []*Analyzer{MapOrder, NoClock, DESDiscipline, FloatCmp, PoolLife, HotAlloc, DetShared}
 }
 
 // Check runs the given analyzers over every package and returns all
-// findings ordered by file position.
+// findings ordered by file position. Facts passes run first, serially,
+// over packages in import dependency order; Run passes then fan out in
+// parallel across packages (each (package, analyzer) pair is an
+// independent read-only walk over shared type information).
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-			}
-			a.Run(pass)
+	var mu sync.Mutex
+	facts := &factStore{}
+
+	ordered := dependencyOrder(pkgs)
+	for _, a := range analyzers {
+		if a.Facts == nil {
+			continue
+		}
+		for _, pkg := range ordered {
+			a.Facts(newPass(a, pkg, &diags, &mu, facts))
 		}
 	}
+
+	type unit struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	var units []unit
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run != nil {
+				units = append(units, unit{pkg, a})
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			u.a.Run(newPass(u.a, u.pkg, &diags, &mu, facts))
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan unit)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range next {
+					u.a.Run(newPass(u.a, u.pkg, &diags, &mu, facts))
+				}
+			}()
+		}
+		for _, u := range units {
+			next <- u
+		}
+		close(next)
+		wg.Wait()
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -161,9 +280,57 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
+}
+
+func newPass(a *Analyzer, pkg *Package, diags *[]Diagnostic, mu *sync.Mutex, facts *factStore) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Path:     pkg.Path,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    diags,
+		mu:       mu,
+		facts:    facts,
+	}
+}
+
+// dependencyOrder returns pkgs sorted so that every package appears
+// after all of its imports that are themselves in pkgs — the order the
+// Facts phase needs so callee summaries exist before callers read them.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return // cycle (impossible in valid Go) or already emitted
+		}
+		state[p.Path] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // walk traverses root keeping an ancestor stack (root first). visit runs

@@ -30,13 +30,24 @@ type Package struct {
 // golang.org/x/tools: module packages are parsed from source and
 // standard-library imports are resolved through go/importer's source
 // importer, so no compiled export data or network access is needed.
+//
+// With IncludeTests set (before the first Load), _test.go files join the
+// analysis: in-package test files are merged into their package's build
+// (as in a `go test` compile, which also guarantees the merge cannot
+// introduce import cycles), and external test packages (package foo_test)
+// are loaded as separate packages whose import path carries a " [tests]"
+// suffix.
 type Loader struct {
 	fset       *token.FileSet
 	moduleDir  string
 	modulePath string
 	std        types.Importer
 	pkgs       map[string]*Package
+	exts       map[string]*Package // external test package by base import path
 	loading    map[string]bool
+
+	// IncludeTests adds _test.go files to subsequent Loads.
+	IncludeTests bool
 }
 
 // NewLoader builds a loader for the module containing dir (dir or any
@@ -68,6 +79,7 @@ func NewLoader(dir string) (*Loader, error) {
 		modulePath: modPath,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
+		exts:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
 }
@@ -88,6 +100,9 @@ func modulePathOf(gomod string) (string, error) {
 
 // ModulePath returns the module's import path.
 func (l *Loader) ModulePath() string { return l.modulePath }
+
+// ModuleDir returns the module's root directory (where go.mod lives).
+func (l *Loader) ModuleDir() string { return l.moduleDir }
 
 // Load resolves patterns ("./...", "./internal/core", or full import
 // paths) into loaded packages, sorted by import path.
@@ -133,6 +148,13 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			out = append(out, pkg)
 		}
 	}
+	// External test packages of the requested paths ride along after the
+	// base packages, in the same sorted order.
+	for _, p := range sorted {
+		if ext := l.exts[p]; ext != nil {
+			out = append(out, ext)
+		}
+	}
 	return out, nil
 }
 
@@ -156,7 +178,7 @@ func (l *Loader) walkDirs(root string) ([]string, error) {
 			return err
 		}
 		for _, e := range ents {
-			if goFileName(e.Name()) {
+			if goFileName(e.Name()) || (l.IncludeTests && testGoFileName(e.Name())) {
 				dirs = append(dirs, path)
 				break
 			}
@@ -169,6 +191,11 @@ func (l *Loader) walkDirs(root string) ([]string, error) {
 func goFileName(name string) bool {
 	return strings.HasSuffix(name, ".go") &&
 		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+func testGoFileName(name string) bool {
+	return strings.HasSuffix(name, "_test.go") &&
 		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
 }
 
@@ -220,12 +247,14 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	var files, extFiles []*ast.File
 	for _, e := range ents {
-		if e.IsDir() || !goFileName(e.Name()) {
+		name := e.Name()
+		isTest := l.IncludeTests && testGoFileName(name)
+		if e.IsDir() || (!goFileName(name) && !isTest) {
 			continue
 		}
-		full := filepath.Join(dir, e.Name())
+		full := filepath.Join(dir, name)
 		src, err := os.ReadFile(full)
 		if err != nil {
 			return nil, err
@@ -237,7 +266,14 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		switch {
+		case !isTest:
+			files = append(files, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extFiles = append(extFiles, f)
+		default:
+			files = append(files, f) // in-package test file, merged as in a test build
+		}
 	}
 	if len(files) == 0 {
 		return nil, nil
@@ -247,6 +283,16 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 		return nil, err
 	}
 	l.pkgs[path] = pkg
+	if len(extFiles) > 0 {
+		// The external test package imports the base package just cached
+		// above, so this check cannot recurse back into loadPath.
+		ext, err := l.check(path+" [tests]", extFiles)
+		if err != nil {
+			return nil, err
+		}
+		ext.Dir = dir
+		l.exts[path] = ext
+	}
 	return pkg, nil
 }
 

@@ -19,6 +19,9 @@ import (
 //  3. Everywhere except scmp/internal/rng itself, constructing
 //     generators directly (rand.New, rand.NewSource) is an error: use
 //     rng.New(seed) so every stream traces back to an injected seed.
+//     Relaxed in _test.go files (-tests mode): a locally seeded
+//     rand.New(rand.NewSource(k)) is the standard test-fixture idiom
+//     and is just as deterministic as rng.New.
 var NoClock = &Analyzer{
 	Name: "noclock",
 	Doc:  "forbids wall-clock reads and ambient (non-injected) randomness",
@@ -70,7 +73,7 @@ func runNoClock(p *Pass) {
 				}
 				switch name {
 				case "New", "NewSource":
-					if p.Path != rngPackage {
+					if p.Path != rngPackage && !p.InTestFile(sel.Pos()) {
 						p.Reportf(sel.Pos(),
 							"direct rand.%s; construct seeded generators via scmp/internal/rng (rng.New(seed))",
 							name)

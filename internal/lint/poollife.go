@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolLife machine-checks the pooled-value lifetimes PR 4–5 introduced.
+// Two value classes are tracked through an intra-procedural
+// escape/liveness walk:
+//
+// Pooled packets — results of Network.getPacket calls, *Packet
+// parameters (including sink/trace callback literals), and *Packet
+// locals type-asserted out of a SinkEvent payload. The simulator
+// recycles the in-flight copy once the handler returns, so a tracked
+// packet must not outlive its frame: storing it into a field, slice
+// element, map, package-level variable or composite literal, sending it
+// on a channel, appending it anywhere, or capturing it in a closure is
+// reported, as is any use sequenced after the putPacket call that
+// releases it. Field reads/writes on the packet and passing it down the
+// call stack are fine — the contract is about retention, not access.
+//
+// des.Event handles — results of Scheduler.At/After. The slot behind a
+// handle is recycled when the event fires, so after any call that can
+// dispatch events (Step, Run, RunUntil on a des.Scheduler or
+// netsim.Network) the only safe methods are the generation-checked
+// Cancel and Cancelled; other uses (e.At(), field reads) are reported
+// unless an intervening e.Cancelled() check or reassignment of the
+// handle sits between the advancing call and the use. Storing a handle
+// is deliberately allowed — parking timers in fields and cancelling
+// them later is the control plane's documented pattern, made safe by
+// the generation counter.
+//
+// Sequencing uses the ancestor-block rule (see dataflow.go): an event
+// only poisons uses it dominates in source order, so a release on an
+// early-return branch never flags the fall-through path. Loops,
+// gotos, derived pointers (q := pkt.Payload) and cross-call flows are
+// documented false negatives (DESIGN.md §11).
+var PoolLife = &Analyzer{
+	Name: "poollife",
+	Doc:  "tracks pool-obtained packets and des.Event handles; flags retention past release and stale-handle use",
+	Run:  runPoolLife,
+}
+
+const (
+	trackPacket = iota
+	trackEvent
+)
+
+// poolTracked is one tracked variable within one function.
+type poolTracked struct {
+	kind int
+	rep  *types.Var // alias-group representative (the original source var)
+}
+
+func runPoolLife(p *Pass) {
+	for _, fi := range packageFuncs(p) {
+		name := fi.decl.Name.Name
+		if name == "getPacket" || name == "putPacket" {
+			continue // the pool implementation itself stores packets by design
+		}
+		checkPoolLifeFunc(p, fi.decl)
+	}
+}
+
+func checkPoolLifeFunc(p *Pass, fn *ast.FuncDecl) {
+	tracked := collectTracked(p, fn)
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Event positions per alias group: releases (putPacket), scheduler
+	// advances, reassignments, and Cancelled guards.
+	releases := make(map[*types.Var][]token.Pos)
+	var advances []token.Pos
+	assigns := make(map[*types.Var][]token.Pos)
+	guards := make(map[*types.Var][]token.Pos)
+
+	group := func(v *types.Var) (*types.Var, int, bool) {
+		t, ok := tracked[v]
+		if !ok {
+			return nil, 0, false
+		}
+		return t.rep, t.kind, true
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Event positions are recorded just inside the call's closing
+			// paren: ordered after every argument, but still inside the
+			// call's enclosing case clause / block for ancestry purposes.
+			if calleeName(n) == "putPacket" {
+				for _, arg := range n.Args {
+					if v := objOf(p.Info, arg); v != nil {
+						if rep, kind, ok := group(v); ok && kind == trackPacket {
+							releases[rep] = append(releases[rep], n.End()-1)
+						}
+					}
+				}
+			}
+			if isAdvancingCall(p, n) {
+				advances = append(advances, n.End()-1)
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Cancelled" {
+				if v := objOf(p.Info, sel.X); v != nil {
+					if rep, kind, ok := group(v); ok && kind == trackEvent {
+						guards[rep] = append(guards[rep], n.End())
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := objOf(p.Info, lhs); v != nil {
+					if rep, _, ok := group(v); ok {
+						assigns[rep] = append(assigns[rep], n.End())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	checkPoolEscapes(p, fn, tracked)
+
+	// Liveness: a use is poisoned by the nearest dominating event unless
+	// a reassignment (either kind) or a Cancelled guard (event handles)
+	// lies between.
+	walk(fn.Body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, _ := p.Info.Uses[id].(*types.Var)
+		if v == nil {
+			return
+		}
+		rep, kind, ok := group(v)
+		if !ok || isAssignTarget(stack, id) {
+			return
+		}
+		if lit := innermostFuncLit(stack); lit != nil && !declaredWithin(v, lit) {
+			return // captures are reported once, by the escape walk
+		}
+		switch kind {
+		case trackPacket:
+			for _, rel := range releases[rep] {
+				if sequencedAfter(fn.Body, rel, id.Pos()) && !anyBetween(assigns[rep], rel, id.Pos()) {
+					p.Reportf(id.Pos(), "use of pooled packet %s after putPacket released it", id.Name)
+					return
+				}
+			}
+		case trackEvent:
+			if isGenCheckedUse(stack, id) {
+				return // Cancel/Cancelled validate the generation themselves
+			}
+			for _, adv := range advances {
+				if sequencedAfter(fn.Body, adv, id.Pos()) &&
+					!anyBetween(assigns[rep], adv, id.Pos()) &&
+					!anyBetween(guards[rep], adv, id.Pos()) {
+					p.Reportf(id.Pos(), "use of des.Event handle %s after the scheduler may have recycled its slot; check Cancelled() first or use Cancel", id.Name)
+					return
+				}
+			}
+		}
+	})
+}
+
+// collectTracked gathers the function's tracked variables: pooled-packet
+// sources, event-handle sources, and their plain-identifier aliases
+// (q := pkt), mapped to a shared group representative.
+func collectTracked(p *Pass, fn *ast.FuncDecl) map[*types.Var]poolTracked {
+	tracked := make(map[*types.Var]poolTracked)
+
+	// *Packet parameters of the function itself and of every function
+	// literal in its body (sink, trace and scheduler callbacks receive
+	// pooled copies valid only for the call).
+	trackParams := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				v, _ := p.Info.Defs[name].(*types.Var)
+				if v != nil && isPooledPacketType(v.Type()) {
+					tracked[v] = poolTracked{kind: trackPacket, rep: v}
+				}
+			}
+		}
+	}
+	trackParams(fn.Type)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			trackParams(lit.Type)
+		}
+		return true
+	})
+
+	// Locals: pool-call results, event handles, and payload assertions.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			v := objOf(p.Info, as.Lhs[i])
+			if v == nil {
+				continue
+			}
+			switch r := ast.Unparen(rhs).(type) {
+			case *ast.CallExpr:
+				if calleeName(r) == "getPacket" {
+					tracked[v] = poolTracked{kind: trackPacket, rep: v}
+				} else if namedTypeIs(p.TypeOf(r), "des", "Event") {
+					tracked[v] = poolTracked{kind: trackEvent, rep: v}
+				}
+			case *ast.TypeAssertExpr:
+				if isPooledPacketType(p.TypeOf(r)) {
+					tracked[v] = poolTracked{kind: trackPacket, rep: v}
+				}
+			}
+		}
+		return true
+	})
+
+	// Alias closure: a plain `q := pkt` joins pkt's group.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				src := objOf(p.Info, rhs)
+				dst := objOf(p.Info, as.Lhs[i])
+				if src == nil || dst == nil || dst == src {
+					continue
+				}
+				t, ok := tracked[src]
+				if !ok {
+					continue
+				}
+				if _, known := tracked[dst]; !known {
+					tracked[dst] = poolTracked{kind: t.kind, rep: t.rep}
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tracked
+}
+
+// checkPoolEscapes reports stores that would retain a pooled packet past
+// its release: fields, slice/map elements, globals, composite literals,
+// appends, channel sends, and closure captures.
+func checkPoolEscapes(p *Pass, fn *ast.FuncDecl, tracked map[*types.Var]poolTracked) {
+	isTrackedPacket := func(e ast.Expr) (*types.Var, bool) {
+		v := objOf(p.Info, e)
+		if v == nil {
+			return nil, false
+		}
+		t, ok := tracked[v]
+		if !ok || t.kind != trackPacket {
+			return nil, false
+		}
+		return v, true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				v, ok := isTrackedPacket(rhs)
+				if !ok {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.Ident:
+					if lv := objOf(p.Info, lhs); isPackageLevel(lv) {
+						p.Reportf(n.Pos(), "pooled packet %s stored in package-level %s; it is recycled after the handler returns", v.Name(), lhs.Name)
+					}
+					// plain local: alias, handled by group tracking
+				case *ast.SelectorExpr:
+					p.Reportf(n.Pos(), "pooled packet %s stored in field %s; it is recycled after the handler returns", v.Name(), exprString(lhs))
+				case *ast.IndexExpr:
+					p.Reportf(n.Pos(), "pooled packet %s stored in element %s; it is recycled after the handler returns", v.Name(), exprString(lhs))
+				case *ast.StarExpr:
+					p.Reportf(n.Pos(), "pooled packet %s stored through pointer %s; it is recycled after the handler returns", v.Name(), exprString(lhs))
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinCall(p.Info, n, "append") {
+				for _, arg := range n.Args[1:] {
+					if v, ok := isTrackedPacket(arg); ok {
+						p.Reportf(arg.Pos(), "pooled packet %s appended to a slice; it is recycled after the handler returns", v.Name())
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if v, ok := isTrackedPacket(e); ok {
+					p.Reportf(e.Pos(), "pooled packet %s stored in a composite literal; it is recycled after the handler returns", v.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if v, ok := isTrackedPacket(n.Value); ok {
+				p.Reportf(n.Pos(), "pooled packet %s sent on a channel; it is recycled after the handler returns", v.Name())
+			}
+		case *ast.FuncLit:
+			for _, v := range capturedVars(p.Info, n) {
+				if t, ok := tracked[v]; ok && t.kind == trackPacket {
+					p.Reportf(n.Pos(), "pooled packet %s captured by closure; it is recycled after the handler returns", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAdvancingCall reports calls that can dispatch (and therefore
+// recycle) queued events: Step/Run/RunUntil on a des.Scheduler or
+// netsim.Network. Wrappers in other packages are a documented false
+// negative.
+func isAdvancingCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Step", "Run", "RunUntil":
+	default:
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	return namedTypeIs(t, "des", "Scheduler") || namedTypeIs(t, "netsim", "Network")
+}
+
+// isGenCheckedUse reports whether id is the receiver of a Cancel or
+// Cancelled call — the two generation-checked Event methods that are
+// safe on a stale handle.
+func isGenCheckedUse(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	sel, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		return false
+	}
+	if sel.Sel.Name != "Cancel" && sel.Sel.Name != "Cancelled" {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}
+
+// isAssignTarget reports whether id is being written (LHS of an
+// assignment) rather than read.
+func isAssignTarget(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	as, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == ast.Expr(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// innermostFuncLit returns the deepest function literal on the stack,
+// nil when the node is not inside one.
+func innermostFuncLit(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+// anyBetween reports whether any position in ps lies strictly between
+// lo and hi.
+func anyBetween(ps []token.Pos, lo, hi token.Pos) bool {
+	for _, p := range ps {
+		if p > lo && p < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// isPooledPacketType matches *Packet where Packet is netsim's pooled
+// packet type (suffix match so analyzer tests can declare their own
+// netsim-shaped package).
+func isPooledPacketType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	return namedTypeIs(t, "netsim", "Packet")
+}

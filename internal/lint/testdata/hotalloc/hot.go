@@ -1,0 +1,79 @@
+// Seeded hot-path allocations for the hotalloc analyzer: every
+// allocation-introducing construct inside a //scmplint:hotpath function
+// (or a function it statically calls) is flagged, with the reviewed
+// exemptions — panic arguments, amortized appends, ignore comments —
+// staying clean.
+package hot
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type ring struct {
+	scratch []int
+	buf     []pair
+}
+
+//scmplint:hotpath
+func (r *ring) dispatch(n int, name string, sink func(any)) {
+	p := &pair{n, n} // want "&composite literal allocates"
+	_ = p
+	s := []int{n} // want "slice literal allocates"
+	_ = s
+	m := make(map[int]int) // want "make allocates"
+	_ = m
+	q := new(pair) // want "new allocates"
+	_ = q
+	fn := func() {} // want "closure literal allocates"
+	fn()
+	var local []int
+	local = append(local, n) // want "append to function-local local"
+	_ = local
+	r.scratch = append(r.scratch, n) // amortized growth into a field: clean
+	msg := name + "!"                // want "string concatenation allocates"
+	_ = msg
+	bs := []byte(name) // want "conversion allocates"
+	_ = bs
+	sink(n)        // want "boxing int into interface argument allocates"
+	fmt.Println(n) // want "call to fmt.Println allocates"
+	r.helper(n)
+	value := pair{n, n} // value struct literal: escape analysis out of scope, clean
+	_ = value
+	sink(&value) // pointer-shaped into interface: clean
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // panic argument: clean
+	}
+}
+
+// helper carries no annotation: it is hot transitively, so its body is
+// checked directly.
+func (r *ring) helper(n int) {
+	r.buf = append(r.buf, pair{n, n}) // amortized: clean
+	tmp := []pair{{n, n}}             // want "slice literal allocates"
+	_ = tmp
+}
+
+// caller-owned scratch through a parameter is the other amortized shape.
+//
+//scmplint:hotpath
+func fill(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i) // clean: append into a parameter
+	}
+	return dst
+}
+
+// A reviewed lazy one-time init stays out of both the report and the
+// allocation summary.
+//
+//scmplint:hotpath
+func (r *ring) lazyInit(n int) {
+	if r.scratch == nil {
+		r.scratch = make([]int, 0, n) //scmplint:ignore hotalloc
+	}
+}
+
+// cold is never reached from a hot function: nothing here is flagged.
+func cold(n int) []int {
+	return append([]int{}, n)
+}

@@ -1,0 +1,54 @@
+// Stale des.Event handle cases for the poollife analyzer, against the
+// real scheduler package: any Step/Run/RunUntil may recycle the slot
+// behind a handle, after which only the generation-checked Cancel and
+// Cancelled are safe.
+package event
+
+import "scmp/internal/des"
+
+func staleAfterRun(s *des.Scheduler) des.Time {
+	e := s.At(1, func() {})
+	s.Run()
+	return e.At() // want "use of des.Event handle e after the scheduler may have recycled its slot"
+}
+
+func staleAfterStep(s *des.Scheduler) des.Time {
+	e := s.After(1, func() {})
+	s.Step()
+	return e.At() // want "use of des.Event handle e after the scheduler may have recycled its slot"
+}
+
+// Cancel and Cancelled validate the slot generation themselves.
+func genCheckedClean(s *des.Scheduler) bool {
+	e := s.At(1, func() {})
+	s.Run()
+	e.Cancel()
+	return e.Cancelled()
+}
+
+// A Cancelled guard between the advance and the use re-validates the
+// handle.
+func guardedClean(s *des.Scheduler) des.Time {
+	e := s.At(1, func() {})
+	s.Run()
+	if !e.Cancelled() {
+		return e.At()
+	}
+	return 0
+}
+
+// Reassigning the handle after the advance starts a fresh lifetime.
+func reassignedClean(s *des.Scheduler) des.Time {
+	e := s.At(1, func() {})
+	s.Run()
+	e = s.At(2, func() {})
+	return e.At()
+}
+
+// Uses before the advance are untouched.
+func useBeforeAdvanceClean(s *des.Scheduler) des.Time {
+	e := s.At(1, func() {})
+	at := e.At()
+	s.Run()
+	return at
+}

@@ -1,0 +1,115 @@
+//golden:path scmp/internal/lint/testdata/fake/netsim
+
+// Seeded pooled-packet lifetime violations for the poollife analyzer.
+// The package path ends in "netsim", so the local Packet type stands in
+// for the simulator's pooled packet.
+package netsim
+
+type Packet struct {
+	Kind int
+	From int
+}
+
+type Network struct {
+	pool []*Packet
+	last *Packet
+	all  []*Packet
+	byID map[int]*Packet
+}
+
+// getPacket and putPacket are the pool implementation itself; poollife
+// exempts them by name.
+func (n *Network) getPacket() *Packet {
+	if k := len(n.pool); k > 0 {
+		p := n.pool[k-1]
+		n.pool = n.pool[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+func (n *Network) putPacket(p *Packet) { n.pool = append(n.pool, p) }
+
+func (n *Network) useAfterRelease() {
+	pkt := n.getPacket()
+	n.putPacket(pkt)
+	_ = pkt.Kind // want "use of pooled packet pkt after putPacket released it"
+}
+
+func (n *Network) aliasUseAfterRelease() {
+	pkt := n.getPacket()
+	q := pkt
+	n.putPacket(q)
+	_ = pkt.From // want "use of pooled packet pkt after putPacket released it"
+}
+
+// A release on an early-return branch does not poison the fall-through
+// path (ancestor-block sequencing).
+func (n *Network) branchReleaseClean(drop bool) {
+	pkt := n.getPacket()
+	if drop {
+		n.putPacket(pkt)
+		return
+	}
+	pkt.From = 1
+	n.putPacket(pkt)
+}
+
+// Reassignment between release and use starts a fresh lifetime.
+func (n *Network) reassignedClean() {
+	pkt := n.getPacket()
+	n.putPacket(pkt)
+	pkt = n.getPacket()
+	pkt.Kind = 2
+	n.putPacket(pkt)
+}
+
+func (n *Network) storeInField(pkt *Packet) {
+	n.last = pkt // want "pooled packet pkt stored in field n.last"
+}
+
+func (n *Network) storeInGlobal(pkt *Packet) {
+	lastSeen = pkt // want "pooled packet pkt stored in package-level lastSeen"
+}
+
+var lastSeen *Packet
+
+func (n *Network) appendToSlice(pkt *Packet) {
+	n.all = append(n.all, pkt) // want "pooled packet pkt appended to a slice"
+}
+
+func (n *Network) storeInMap(pkt *Packet) {
+	n.byID[pkt.From] = pkt // want "pooled packet pkt stored in element"
+}
+
+func (n *Network) storeInLiteral(pkt *Packet) {
+	batch := []*Packet{pkt} // want "pooled packet pkt stored in a composite literal"
+	_ = batch
+}
+
+func (n *Network) sendOnChannel(pkt *Packet, ch chan *Packet) {
+	ch <- pkt // want "pooled packet pkt sent on a channel"
+}
+
+var deferred func()
+
+func (n *Network) capturedByClosure(pkt *Packet) {
+	deferred = func() { _ = pkt.Kind } // want "pooled packet pkt captured by closure"
+}
+
+// A sink-style type assertion is tracked like a pool result.
+func (n *Network) assertedPayload(p any) {
+	pkt := p.(*Packet)
+	n.putPacket(pkt)
+	_ = pkt.Kind // want "use of pooled packet pkt after putPacket released it"
+}
+
+// Passing the packet down the call stack and mutating its fields before
+// release is the normal, legal handler shape.
+func (n *Network) handlerClean(pkt *Packet) {
+	pkt.From = 3
+	n.inspect(pkt)
+	n.putPacket(pkt)
+}
+
+func (n *Network) inspect(pkt *Packet) { _ = pkt.Kind }

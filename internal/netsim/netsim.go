@@ -229,7 +229,9 @@ func (n *Network) getPacket() *Packet {
 		n.pool = n.pool[:k-1]
 		return p
 	}
-	return new(Packet)
+	// Pool miss: a one-time warm-up allocation, amortized to zero at
+	// steady state (PR 5 measured 0 allocs/op once the pool is primed).
+	return new(Packet) //scmplint:ignore hotalloc
 }
 
 // putPacket hands a delivered in-flight copy back to the free list. The
@@ -263,7 +265,8 @@ func (n *Network) arcLatency(a int32, size int) des.Time {
 		return now + des.Time(n.csr.ArcDelay(a))
 	}
 	if n.busy == nil {
-		n.busy = make([]des.Time, n.csr.NumArcs())
+		// Lazy one-time init of the busy-horizon array, not per-packet.
+		n.busy = make([]des.Time, n.csr.NumArcs()) //scmplint:ignore hotalloc
 	}
 	start := now
 	if b := n.busy[a]; b > start {
@@ -340,9 +343,12 @@ func (n *Network) arrived(from, to topology.NodeID, kind packet.Kind, lost bool)
 // SendLink transmits a copy of pkt from one router to an adjacent one:
 // it accounts the link crossing and schedules HandlePacket at the
 // far end after the link delay.
+//
+//scmplint:hotpath
 func (n *Network) SendLink(from, to topology.NodeID, pkt *Packet) {
 	if n.refMode {
-		n.sendLinkRef(from, to, pkt)
+		// Reference delivery path: allocating by design, not hot.
+		n.sendLinkRef(from, to, pkt) //scmplint:ignore hotalloc
 		return
 	}
 	a := n.arc(from, to)
@@ -365,6 +371,8 @@ func (n *Network) SendLink(from, to topology.NodeID, pkt *Packet) {
 
 // SinkEvent dispatches a typed delivery event; it implements des.Sink
 // and is invoked only by the scheduler.
+//
+//scmplint:hotpath
 func (n *Network) SinkEvent(op uint8, a, b int32, p any, flag bool) {
 	pkt := p.(*Packet)
 	from, to := topology.NodeID(a), topology.NodeID(b)
@@ -395,9 +403,12 @@ func (n *Network) SinkEvent(op uint8, a, b int32, p any, flag bool) {
 // the unicast substrate. Intermediate routers forward below the
 // multicast protocol (the crossing is accounted but HandlePacket fires
 // only at the destination). Delivering to self is immediate.
+//
+//scmplint:hotpath
 func (n *Network) SendUnicast(src topology.NodeID, pkt *Packet) {
 	if n.refMode {
-		n.sendUnicastRef(src, pkt)
+		// Reference delivery path: allocating by design, not hot.
+		n.sendUnicastRef(src, pkt) //scmplint:ignore hotalloc
 		return
 	}
 	cp := n.getPacket()

@@ -53,7 +53,8 @@ func (h *nodeHeap) len() int { return len(h.items) }
 func (h *nodeHeap) reset(n int) {
 	h.items = h.items[:0]
 	if cap(h.pos) < n {
-		h.pos = make([]int32, n)
+		// Grown once per graph size, reused across every source after.
+		h.pos = make([]int32, n) //scmplint:ignore hotalloc
 	}
 	h.pos = h.pos[:n]
 	for i := range h.pos {
