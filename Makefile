@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick smoke-parallel smoke-faults fmt
+.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick bench-partitions smoke-parallel smoke-faults smoke-partitions fmt
 
 all: lint test
 
@@ -64,12 +64,22 @@ bench-routing:
 # >=2x events/sec, fast vs ref.
 DATAPLANE_BENCHTIME ?= 20000x
 bench-dataplane:
-	$(GO) test -bench DataPlane -benchtime $(DATAPLANE_BENCHTIME) -benchmem -run '^$$' . | tee BENCH_dataplane.txt
+	$(GO) test -bench 'DataPlane$$' -benchtime $(DATAPLANE_BENCHTIME) -benchmem -run '^$$' . | tee BENCH_dataplane.txt
 	$(GO) run ./cmd/benchjson BENCH_dataplane.txt > BENCH_dataplane.json
 
 # Quick CI pass of the same benchmark (no artefact files).
 bench-dataplane-quick:
-	$(GO) test -bench DataPlane -benchtime 500x -benchmem -run '^$$' .
+	$(GO) test -bench 'DataPlane$$' -benchtime 500x -benchmem -run '^$$' .
+
+# Partitioned-drive perf gate: the 8-source Fig. 8/9 load over
+# partition counts 1/2/4/8 (k=1 is the serial baseline). The acceptance
+# record is BENCH_partitions.txt/.json: on an 8-core runner k=8 must
+# reach >=3x the k=1 events/sec; hops/op is identical at every k by the
+# determinism contract.
+PARTITIONS_BENCHTIME ?= 2000x
+bench-partitions:
+	$(GO) test -bench DataPlanePartitioned -benchtime $(PARTITIONS_BENCHTIME) -benchmem -run '^$$' . | tee BENCH_partitions.txt
+	$(GO) run ./cmd/benchjson BENCH_partitions.txt > BENCH_partitions.json
 
 # End-to-end smoke of the parallel runner under the race detector: a
 # quick Fig. 7 sweep fanned over 4 workers.
@@ -80,3 +90,14 @@ smoke-parallel:
 # in quick mode, race detector on and runtime invariants armed.
 smoke-faults:
 	$(GO) run -race -tags invariants ./cmd/scmpsim -experiment faults -quick -parallel 4 -out /dev/null
+
+# Partitioned-drive differential gate: the serial-vs-partitioned
+# byte-identity tests under the race detector with invariants armed,
+# then an end-to-end CLI check that a quick fig8 sweep renders the
+# exact same bytes serial and at 8 partitions.
+smoke-partitions:
+	$(GO) test -race -tags invariants -count=1 -run 'TestPartition' ./internal/experiment/
+	$(GO) run ./cmd/scmpsim -experiment fig8 -quick -parallel 1 -out smoke_partitions_serial.txt
+	$(GO) run -race ./cmd/scmpsim -experiment fig8 -quick -parallel 1 -partitions 8 -out smoke_partitions_p8.txt
+	cmp smoke_partitions_serial.txt smoke_partitions_p8.txt
+	rm -f smoke_partitions_serial.txt smoke_partitions_p8.txt

@@ -224,7 +224,7 @@ func (s *SCMP) LinkUp(u, v topology.NodeID) {
 // pending requests die with it unconditionally; with repair enabled its
 // neighbours additionally treat every adjacent link as failed.
 func (s *SCMP) NodeDown(n topology.NodeID) {
-	delete(s.entries, n)
+	s.entries[n] = nil
 	for key, p := range s.pending {
 		if key.node == n {
 			if p.timer != nil {

@@ -160,7 +160,12 @@ type SCMP struct {
 	spDelay *topology.AllPairs
 	spCost  *topology.AllPairs
 	groups  map[packet.GroupID]*groupState
-	entries map[topology.NodeID]map[packet.GroupID]*entry
+	// entries is indexed by node id (allocated in Attach once the
+	// topology size is known). Dense indexing keeps per-node entry
+	// access disjoint: under a partitioned drive concurrent windows
+	// touch only their own partition's slots, and a slice read of a
+	// foreign slot is never a map-structure race.
+	entries []map[packet.GroupID]*entry
 	// replica is the standby's copy of the membership database, fed by
 	// REPLICATE packets from the primary.
 	replica map[packet.GroupID]map[topology.NodeID]bool
@@ -175,10 +180,6 @@ type SCMP struct {
 	// superseded request is ignored.
 	pending map[pendingKey]*pendingReq
 	reqSeq  uint64
-	// splitBuf is the reusable scratch for splitting incoming TREE
-	// payloads (the per-hop forwarding path re-slices the payload
-	// instead of re-encoding it; see handleTree).
-	splitBuf []packet.ChildPayload
 }
 
 var _ netsim.Protocol = (*SCMP)(nil)
@@ -216,7 +217,6 @@ func New(cfg Config) *SCMP {
 		cfg:     cfg,
 		homes:   homes,
 		groups:  make(map[packet.GroupID]*groupState),
-		entries: make(map[topology.NodeID]map[packet.GroupID]*entry),
 		replica: make(map[packet.GroupID]map[topology.NodeID]bool),
 		pending: make(map[pendingKey]*pendingReq),
 	}
@@ -256,6 +256,7 @@ func (s *SCMP) Attach(n *netsim.Network) {
 		panic(fmt.Sprintf("core: standby %d out of range", s.cfg.Standby))
 	}
 	s.net = n
+	s.entries = make([]map[packet.GroupID]*entry, n.G.N())
 	// Lazy tables: rows materialise the first time DCDM consults a
 	// source, so a domain serving small groups never pays the full
 	// n-Dijkstra build (row contents are identical to an eager build).
@@ -723,15 +724,34 @@ func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
 // adopt the sender as upstream, replace the downstream set with the
 // packet's children, split the packet and forward one subpacket per
 // child. Downstream routers absent from the new subtree are flushed.
+// ParallelWindowSafe implements netsim.ParallelSafe: the dispatch-order
+// sensitive features — multiple m-routers or a hot standby (shared
+// group/replica maps written from several homes), the service centre
+// queue, reliable signalling timers, and soft-state refresh — all
+// serialise through shared protocol state that a windowed drive would
+// interleave nondeterministically, so a configuration using any of
+// them falls back to the serial scheduler. The plain fig-8/fig-9
+// forwarding workload (one m-router, fire-and-forget control) keeps
+// all cross-partition interaction on the simulated wire and is safe.
+func (s *SCMP) ParallelWindowSafe() bool {
+	return len(s.homes) == 1 &&
+		s.cfg.Standby < 0 &&
+		s.cfg.AckTimeout <= 0 &&
+		s.cfg.RefreshInterval <= 0 &&
+		s.cfg.ServiceTime <= 0
+}
+
 func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
 	// Split rather than decode: each child's subtree encoding is
 	// embedded verbatim in the payload, so the forwarded subpackets are
 	// slices of the incoming payload (byte-identical to re-encoding,
 	// without materialising the Subtree or allocating new payloads).
 	// SplitSubtree walks the whole payload, so corrupt packets are
-	// dropped here exactly as DecodeSubtree would.
-	children, err := packet.SplitSubtree(pkt.Payload, s.splitBuf[:0])
-	s.splitBuf = children[:0]
+	// dropped here exactly as DecodeSubtree would. The scratch is local
+	// on purpose: TREE distribution is off the data hot path, and a
+	// shared instance-level buffer would be written from concurrent
+	// partition windows.
+	children, err := packet.SplitSubtree(pkt.Payload, nil)
 	if err != nil {
 		return // corrupt packet: drop
 	}
@@ -949,13 +969,13 @@ func (s *SCMP) forwardOnTree(node topology.NodeID, e *entry, pkt *netsim.Packet,
 func (s *SCMP) handleData(node topology.NodeID, pkt *netsim.Packet) {
 	e := s.peekEntry(node, pkt.Group)
 	if e == nil || !e.onTree {
-		s.net.DropData()
+		s.net.DropData(node)
 		return
 	}
 	fromUpstream := pkt.From == e.upstream
 	fromDownstream := e.downstream[pkt.From]
 	if !fromUpstream && !fromDownstream {
-		s.net.DropData()
+		s.net.DropData(node)
 		return
 	}
 	s.recordTraffic(node, pkt.Group, pkt.Size)
@@ -999,7 +1019,7 @@ func (s *SCMP) handleEncap(node topology.NodeID, pkt *netsim.Packet) {
 	}
 	e := s.peekEntry(node, pkt.Group)
 	if e == nil || !e.onTree {
-		s.net.DropData()
+		s.net.DropData(node)
 		return
 	}
 	data := *pkt

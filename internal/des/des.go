@@ -246,8 +246,13 @@ func (s *Scheduler) Step() bool {
 		s.popRoot()
 		nd := &s.slab[e.slot]
 		checkPop(s, e, nd)
-		if nd.dead {
-			s.recycle(e.slot)
+		if stale(e, nd) {
+			// Same guard and same recycling rule as peek: a slot is
+			// returned to the free list only by the entry that owns its
+			// current generation.
+			if e.gen == nd.gen {
+				s.recycle(e.slot)
+			}
 			continue
 		}
 		s.now = e.at
@@ -283,6 +288,9 @@ func (s *Scheduler) Run() {
 
 // RunUntil executes events with firing time <= deadline, then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
+// If a callback calls Halt mid-window the clock stays at that event's
+// firing time — the window did not complete, so the deadline advance
+// does not apply.
 //
 //scmplint:hotpath
 func (s *Scheduler) RunUntil(deadline Time) {
@@ -290,17 +298,29 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	for !s.halted {
 		at, ok := s.peek()
 		if !ok || at > deadline {
-			break
+			// The window completed: the queue drained or the next event is
+			// beyond the deadline. Only now does the clock advance to the
+			// window's end.
+			if s.now < deadline {
+				s.now = deadline
+			}
+			return
 		}
 		s.Step()
 	}
-	if s.now < deadline {
-		s.now = deadline
-	}
+}
+
+// stale reports whether a heap entry no longer addresses the live event
+// it was pushed for: cancelled, or the slot was recycled out from under
+// it (generation mismatch). Step and peek apply this same predicate, so
+// the queue view peek/RunUntil act on always matches what Step would
+// dispatch.
+func stale(e entry, nd *node) bool {
+	return e.gen != nd.gen || nd.dead
 }
 
 // peek reports the firing time of the earliest live event, discarding
-// cancelled ones.
+// stale ones.
 func (s *Scheduler) peek() (Time, bool) {
 	if s.ref != nil {
 		// Reference queue: allocating by design, outside the hot path.
@@ -308,9 +328,17 @@ func (s *Scheduler) peek() (Time, bool) {
 	}
 	for len(s.heap) > 0 {
 		e := s.heap[0]
-		if s.slab[e.slot].dead {
+		nd := &s.slab[e.slot]
+		checkPeek(s, e, nd)
+		if stale(e, nd) {
 			s.popRoot()
-			s.recycle(e.slot)
+			// Recycle only when the entry still owns its slot: on a
+			// generation mismatch the slot already belongs to a later
+			// event, and recycling it here would hand the same slot out
+			// twice.
+			if e.gen == nd.gen {
+				s.recycle(e.slot)
+			}
 			continue
 		}
 		return e.at, true

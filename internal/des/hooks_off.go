@@ -4,3 +4,6 @@ package des
 
 // checkPop is a no-op unless built with -tags invariants; see hooks_on.go.
 func checkPop(*Scheduler, entry, *node) {}
+
+// checkPeek is a no-op unless built with -tags invariants; see hooks_on.go.
+func checkPeek(*Scheduler, entry, *node) {}

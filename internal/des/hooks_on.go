@@ -14,3 +14,12 @@ func checkPop(s *Scheduler, e entry, nd *node) {
 		panic("des: " + err.Error())
 	}
 }
+
+// checkPeek applies the identical validation to every root entry peek
+// inspects, asserting the peek/Step symmetry: both paths see the same
+// generations, so the queue view RunUntil acts on is the dispatch order.
+func checkPeek(s *Scheduler, e entry, nd *node) {
+	if err := invariant.CheckEventSlot(e.gen, nd.gen, float64(e.at), float64(s.now)); err != nil {
+		panic("des: " + err.Error())
+	}
+}

@@ -1,0 +1,266 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// mailMsg is one buffered cross-partition sink event: the AtSink
+// argument tuple plus the (at, seq, src) merge key. seq is a per-source
+// counter, so the key is assigned race-free during a parallel window
+// (each source partition's goroutine is the only writer of its slice
+// and counter) yet the merged order is a pure function of what was
+// sent, not of goroutine interleaving.
+type mailMsg struct {
+	at   Time
+	seq  uint64
+	src  int32
+	dst  int32
+	a, b int32
+	op   uint8
+	flag bool
+	p    any
+}
+
+// Partitioned coordinates one Scheduler per topology partition plus the
+// shared global scheduler under conservative windowed execution
+// (DESIGN.md §12). Within a window of length bounded by the lookahead —
+// the minimum cross-partition link delay — partitions run concurrently
+// on their own goroutines; cross-partition events are buffered in
+// per-source mailboxes and injected at the next window boundary in
+// canonical (time, seq, srcPartition) order, the same merge trick
+// runner.Map uses, so the dispatch sequence in every partition is a
+// pure function of the scenario.
+//
+// The global scheduler holds harness and control events (joins, data
+// sends, fault injections, route recomputes). Whenever its earliest
+// event is due it runs alone at a barrier, with every partition first
+// caught up to that time — global events may touch state in any
+// partition, so they never overlap a parallel window.
+//
+// Halt is not supported while a Partitioned drive is running: a window
+// restart clears the halted flag, so a callback's Halt only ends its
+// own partition's current window.
+type Partitioned struct {
+	global    *Scheduler
+	parts     []*Scheduler
+	lookahead Time
+	mail      [][]mailMsg // per-source append slices; src goroutine is sole writer
+	seqs      []uint64    // per-source mail sequence counters
+	buf       []mailMsg   // merged flush scratch, reused across windows
+}
+
+// NewPartitioned wires a coordinator over the global scheduler and one
+// scheduler per partition. lookahead is the minimum cross-partition
+// event latency: an event executing at local time t may only Post
+// events at t + lookahead or later. +Inf (no cross-partition links) is
+// valid; zero or negative is not — the window could then never advance
+// past a busy instant.
+func NewPartitioned(global *Scheduler, parts []*Scheduler, lookahead Time) *Partitioned {
+	if len(parts) < 2 {
+		panic("des: partitioned drive needs at least two partitions")
+	}
+	if !(lookahead > 0) {
+		panic("des: partitioned drive needs a positive lookahead")
+	}
+	if global.ref != nil {
+		panic("des: partitioned drive over a reference scheduler")
+	}
+	for _, p := range parts {
+		if p.ref != nil {
+			panic("des: partitioned drive over a reference scheduler")
+		}
+	}
+	return &Partitioned{
+		global:    global,
+		parts:     parts,
+		lookahead: lookahead,
+		mail:      make([][]mailMsg, len(parts)),
+		seqs:      make([]uint64, len(parts)),
+	}
+}
+
+// Lookahead reports the conservative lookahead the drive windows use.
+func (pd *Partitioned) Lookahead() Time { return pd.lookahead }
+
+// Post buffers a typed sink event from partition src for partition dst,
+// firing at absolute time at. It must be called from src's goroutine
+// (or between windows) and at must respect the lookahead contract:
+// at >= src's current time + lookahead. The event is injected into dst
+// at the next window boundary.
+func (pd *Partitioned) Post(src, dst int32, at Time, op uint8, a, b int32, p any, flag bool) {
+	pd.mail[src] = append(pd.mail[src], mailMsg{
+		at: at, seq: pd.seqs[src], src: src, dst: dst,
+		a: a, b: b, op: op, flag: flag, p: p,
+	})
+	pd.seqs[src]++
+}
+
+// Run executes events until every scheduler's queue drains, then syncs
+// all clocks to the maximum reached — the partitioned analogue of
+// Scheduler.Run leaving the clock at the last dispatched event.
+func (pd *Partitioned) Run() { pd.drive(0, false) }
+
+// RunUntil executes events with firing time <= deadline, then advances
+// every clock to the deadline — the partitioned analogue of
+// Scheduler.RunUntil.
+func (pd *Partitioned) RunUntil(deadline Time) { pd.drive(deadline, true) }
+
+// drive is the conservative window loop. Each iteration flushes the
+// mailboxes, then either finishes (nothing pending, or nothing within
+// the deadline), runs a global barrier (the earliest event is global),
+// or runs one parallel window.
+//
+// Safety of mail injection: a window never advances any partition past
+// w = tp + lookahead, where tp is the earliest pending partition event
+// at the window's start. Every message posted during the window was
+// posted by an event executing at some t >= tp, so it fires at
+// t + lookahead >= w — never in the past of the destination clock,
+// which is at most w when the message is injected.
+//
+// Termination: every barrier fires at least one global event and every
+// parallel window fires at least one partition event (the tp event lies
+// inside [tp, w] since lookahead > 0), so the loop takes at most one
+// iteration per event.
+func (pd *Partitioned) drive(deadline Time, bounded bool) {
+	for {
+		pd.flushMail()
+		tp := Time(math.Inf(1))
+		for _, p := range pd.parts {
+			if at, ok := p.peek(); ok && at < tp {
+				tp = at
+			}
+		}
+		next := tp
+		tg := Time(math.Inf(1))
+		if at, ok := pd.global.peek(); ok {
+			tg = at
+			if tg < next {
+				next = tg
+			}
+		}
+		if math.IsInf(float64(next), 1) {
+			if bounded {
+				pd.advanceAll(deadline)
+			} else {
+				pd.syncClocks()
+			}
+			return
+		}
+		if bounded && next > deadline {
+			pd.advanceAll(deadline)
+			return
+		}
+		if tg <= tp {
+			// Barrier: catch every partition up to the global event's
+			// time first — a global event may schedule onto any
+			// partition at or after tg — then run the global queue
+			// alone. Partitions advance in index order, single-threaded:
+			// a barrier is also where cross-partition determinism is
+			// re-anchored.
+			for _, p := range pd.parts {
+				p.RunUntil(tg)
+			}
+			pd.global.RunUntil(tg)
+			continue
+		}
+		w := tp + pd.lookahead
+		if tg < w {
+			w = tg
+		}
+		if bounded && deadline < w {
+			w = deadline
+		}
+		if math.IsInf(float64(w), 1) {
+			// No cross-partition links and no pending global events:
+			// the partitions are fully independent, drain them freely.
+			pd.runWindow(func(p *Scheduler) { p.Run() })
+			continue
+		}
+		pd.runWindow(func(p *Scheduler) { p.RunUntil(w) })
+	}
+}
+
+// runWindow executes one parallel window: every partition scheduler on
+// its own goroutine, joined before any shared state is touched again.
+// The WaitGroup join gives the happens-before edge that publishes each
+// partition's mailbox appends to the flushing goroutine.
+func (pd *Partitioned) runWindow(run func(*Scheduler)) {
+	var wg sync.WaitGroup
+	wg.Add(len(pd.parts))
+	for _, p := range pd.parts {
+		go func(p *Scheduler) {
+			defer wg.Done()
+			run(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// flushMail merges all buffered cross-partition messages in canonical
+// (time, seq, srcPartition) order and injects them into their
+// destination schedulers. The sort key is total — messages from one
+// source have distinct seqs, and equal (time, seq) across sources is
+// broken by the source index — so the injection order, and therefore
+// the (time, insertion-seq) dispatch order inside every destination, is
+// deterministic.
+func (pd *Partitioned) flushMail() {
+	pd.buf = pd.buf[:0]
+	for i := range pd.mail {
+		pd.buf = append(pd.buf, pd.mail[i]...)
+		pd.mail[i] = pd.mail[i][:0]
+	}
+	if len(pd.buf) == 0 {
+		return
+	}
+	sort.Slice(pd.buf, func(i, j int) bool {
+		a, b := &pd.buf[i], &pd.buf[j]
+		// Two strict comparisons, never float equality: an exact time
+		// tie falls through to the integer keys.
+		if a.at < b.at {
+			return true
+		}
+		if b.at < a.at {
+			return false
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.src < b.src
+	})
+	for i := range pd.buf {
+		m := &pd.buf[i]
+		pd.parts[m.dst].AtSink(m.at, m.op, m.a, m.b, m.p, m.flag)
+		m.p = nil // drop the payload reference; buf is reused
+	}
+}
+
+// advanceAll moves every clock that is behind the deadline up to it
+// (bounded drives only reach here with all clocks <= deadline).
+func (pd *Partitioned) advanceAll(deadline Time) {
+	if pd.global.now < deadline {
+		pd.global.now = deadline
+	}
+	for _, p := range pd.parts {
+		if p.now < deadline {
+			p.now = deadline
+		}
+	}
+}
+
+// syncClocks aligns every scheduler to the maximum clock reached, so a
+// post-drain caller scheduling "now or later" on any scheduler cannot
+// violate causality on another.
+func (pd *Partitioned) syncClocks() {
+	t := pd.global.now
+	for _, p := range pd.parts {
+		if p.now > t {
+			t = p.now
+		}
+	}
+	pd.global.now = t
+	for _, p := range pd.parts {
+		p.now = t
+	}
+}

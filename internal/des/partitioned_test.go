@@ -1,0 +1,212 @@
+package des
+
+import (
+	"testing"
+)
+
+// prec is one dispatched logical event in the partitioned-oracle tests:
+// (chain, hop) identifies the event uniquely, node is where it ran, at
+// is when. Comparing sequences of precs sorted by (at, chain, hop)
+// compares the global time order of the two executions.
+type prec struct {
+	at    Time
+	chain int32
+	hop   int32
+	node  int32
+}
+
+func precLess(a, b prec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.chain != b.chain {
+		return a.chain < b.chain
+	}
+	return a.hop < b.hop
+}
+
+// hopSink drives multi-hop "packet" chains over two logical nodes. op
+// carries the node id; even hops cross to the other node after the
+// lookahead plus a per-chain jitter, odd hops stay local. In the
+// partitioned run node == partition and crossings go through Post; in
+// the oracle run both nodes live on one scheduler and crossings are
+// plain AtSink — the logical event times are identical by construction.
+type hopSink struct {
+	s    *Scheduler
+	pd   *Partitioned // nil in the oracle
+	node int32        // partition id; -1 in the oracle (op is the node)
+	recs *[]prec
+	la   Time
+}
+
+func (k *hopSink) SinkEvent(op uint8, a, b int32, p any, flag bool) {
+	node := int32(op)
+	now := k.s.Now()
+	*k.recs = append(*k.recs, prec{at: now, chain: a, hop: b, node: node})
+	if b == 0 {
+		return
+	}
+	if b%2 == 0 {
+		at := now + k.la + Time(a+1)*0.015625
+		if k.pd != nil {
+			k.pd.Post(node, 1-node, at, uint8(1-node), a, b-1, nil, false)
+		} else {
+			k.s.AtSink(at, uint8(1-node), a, b-1, nil, false)
+		}
+	} else {
+		k.s.AtSink(now+0.046875, op, a, b-1, nil, false)
+	}
+}
+
+const hopLookahead = Time(1.0)
+
+// seedChains starts chain c at node c%2, time (c+1)*0.0625, with 6 hops.
+func seedChains(scheds func(node int32) *Scheduler, chains int) {
+	for c := 0; c < chains; c++ {
+		node := int32(c % 2)
+		scheds(node).AtSink(Time(c+1)*0.0625, uint8(node), int32(c), 6, nil, false)
+	}
+}
+
+// runOracle executes the scenario on a single scheduler and returns the
+// dispatch sequence (naturally in global (time, seq) order).
+func runOracle(t *testing.T, chains int) []prec {
+	t.Helper()
+	s := New()
+	var recs []prec
+	s.SetSink(&hopSink{s: s, node: -1, recs: &recs, la: hopLookahead})
+	seedChains(func(int32) *Scheduler { return s }, chains)
+	s.At(2.0, func() {
+		recs = append(recs, prec{at: s.Now(), chain: 100, hop: -1, node: -1})
+		s.AtSink(s.Now(), 0, 100, 4, nil, false)
+		s.AtSink(s.Now(), 1, 101, 4, nil, false)
+	})
+	s.Run()
+	return recs
+}
+
+// runPartitioned executes the same scenario over two partition
+// schedulers plus a global scheduler, via drive. Per-partition record
+// slices need no locking: a partition's sink runs only on that
+// partition's window goroutine (or the barrier thread), and window
+// joins order the appends.
+func runPartitioned(t *testing.T, chains int, split Time) (p0, p1 []prec, pd *Partitioned) {
+	t.Helper()
+	g := New()
+	parts := []*Scheduler{New(), New()}
+	pd = NewPartitioned(g, parts, hopLookahead)
+	for i, p := range parts {
+		recs := []*[]prec{&p0, &p1}[i]
+		p.SetSink(&hopSink{s: p, pd: pd, node: int32(i), recs: recs, la: hopLookahead})
+	}
+	seedChains(func(node int32) *Scheduler { return parts[node] }, chains)
+	g.At(2.0, func() {
+		p0 = append(p0, prec{at: g.Now(), chain: 100, hop: -1, node: -1})
+		parts[0].AtSink(g.Now(), 0, 100, 4, nil, false)
+		parts[1].AtSink(g.Now(), 1, 101, 4, nil, false)
+	})
+	if split > 0 {
+		pd.RunUntil(split)
+		for i, p := range parts {
+			if p.Now() != split {
+				t.Fatalf("after RunUntil(%v): partition %d clock = %v", split, i, p.Now())
+			}
+		}
+		if g.Now() != split {
+			t.Fatalf("after RunUntil(%v): global clock = %v", split, g.Now())
+		}
+	}
+	pd.Run()
+	return p0, p1, pd
+}
+
+func mergeByTime(t *testing.T, p0, p1 []prec) []prec {
+	t.Helper()
+	out := make([]prec, 0, len(p0)+len(p1))
+	out = append(out, p0...)
+	out = append(out, p1...)
+	// Insertion sort by the (at, chain, hop) key — n is small and the
+	// inputs are nearly sorted.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && precLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// The tentpole determinism contract: cross-window injection preserves
+// the global (time, seq) dispatch order — the partitioned execution
+// dispatches exactly the events the single-scheduler oracle does, at
+// the same times, on the same nodes, in the same global time order.
+func TestPartitionedMatchesSingleSchedulerOracle(t *testing.T) {
+	const chains = 5
+	oracle := runOracle(t, chains)
+	p0, p1, _ := runPartitioned(t, chains, 0)
+	got := mergeByTime(t, p0, p1)
+
+	want := make([]prec, len(oracle))
+	copy(want, oracle)
+	for i := 1; i < len(want); i++ {
+		for j := i; j > 0 && precLess(want[j], want[j-1]); j-- {
+			want[j], want[j-1] = want[j-1], want[j]
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("partitioned dispatched %d events, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d diverges: partitioned %+v, oracle %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Two identical partitioned runs must produce byte-identical
+// per-partition dispatch sequences — order included, not just content —
+// and a bounded/unbounded split must not change them.
+func TestPartitionedDeterministicAcrossRunsAndSplits(t *testing.T) {
+	const chains = 5
+	a0, a1, _ := runPartitioned(t, chains, 0)
+	b0, b1, _ := runPartitioned(t, chains, 0)
+	c0, c1, _ := runPartitioned(t, chains, 2.5) // RunUntil(2.5) then Run()
+	check := func(name string, x, y []prec) {
+		t.Helper()
+		if len(x) != len(y) {
+			t.Fatalf("%s: %d vs %d events", name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: dispatch %d diverges: %+v vs %+v", name, i, x[i], y[i])
+			}
+		}
+	}
+	check("rerun p0", a0, b0)
+	check("rerun p1", a1, b1)
+	check("split p0", a0, c0)
+	check("split p1", a1, c1)
+}
+
+// After an unbounded drive all clocks agree (post-drain scheduling on
+// any scheduler must be causally safe), and a bounded drive ends with
+// every clock at the deadline even when no events were pending.
+func TestPartitionedClockContracts(t *testing.T) {
+	_, _, pd0 := runPartitioned(t, 3, 0)
+	want := pd0.global.Now()
+	for i, p := range pd0.parts {
+		if p.Now() != want {
+			t.Fatalf("after unbounded drive: partition %d clock %v != global clock %v", i, p.Now(), want)
+		}
+	}
+
+	g := New()
+	parts := []*Scheduler{New(), New()}
+	pd := NewPartitioned(g, parts, hopLookahead)
+	for _, p := range parts {
+		p.SetSink(&hopSink{s: p, pd: pd, node: 0, recs: new([]prec), la: hopLookahead})
+	}
+	pd.RunUntil(7)
+	if g.Now() != 7 || parts[0].Now() != 7 || parts[1].Now() != 7 {
+		t.Fatalf("empty bounded drive: clocks = %v/%v/%v, want 7", g.Now(), parts[0].Now(), parts[1].Now())
+	}
+}

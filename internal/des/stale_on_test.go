@@ -1,0 +1,44 @@
+//go:build invariants
+
+package des
+
+import (
+	"strings"
+	"testing"
+)
+
+// Under -tags invariants, peek and Step must apply the identical
+// staleness guard: a generation-mismatched root entry panics through
+// checkPeek exactly as it would through checkPop.
+func TestPeekStepGenMismatchSymmetry(t *testing.T) {
+	forge := func() *Scheduler {
+		s := New()
+		s.At(5, func() {})
+		s.heap = append(s.heap, entry{at: 1, seq: 999, slot: 0, gen: s.slab[0].gen + 1})
+		s.siftUp(len(s.heap) - 1)
+		return s
+	}
+	mustPanic := func(name string, f func()) (msg string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s did not panic on a generation-mismatched root", name)
+			}
+			msg = r.(string)
+		}()
+		f()
+		return ""
+	}
+
+	s1 := forge()
+	peekMsg := mustPanic("peek", func() { s1.peek() })
+	s2 := forge()
+	stepMsg := mustPanic("Step", func() { s2.Step() })
+	if peekMsg != stepMsg {
+		t.Fatalf("asymmetric staleness checks:\n peek: %s\n Step: %s", peekMsg, stepMsg)
+	}
+	if !strings.Contains(peekMsg, "slot recycled under a queued event") {
+		t.Fatalf("unexpected invariant message: %s", peekMsg)
+	}
+}

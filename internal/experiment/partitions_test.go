@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"scmp/internal/core"
+	"scmp/internal/netsim"
+	"scmp/internal/protocols/dvmrp"
+	"scmp/internal/rng"
+)
+
+// The serial-vs-partitioned differential gate (DESIGN.md §12): the same
+// smoke workloads rendered to full report bytes must be identical for
+// the serial drive and for every partition count. Protocols that do not
+// opt in via netsim.ParallelSafe fall back to serial inside the sweep,
+// so the gate simultaneously checks the partitioned SCMP runs and the
+// fallback plumbing. CI runs this with -race and -tags invariants.
+
+// renderPartitionedReports runs the shrunken Fig. 8/9 and chaos sweeps
+// with the given simulation partition count and returns the
+// concatenated report text. The shard fan-out is pinned serial so the
+// only varying axis is the partitioned event drive.
+func renderPartitionedReports(partitions int) []byte {
+	var buf bytes.Buffer
+	cfg := Fig89Config{
+		Topologies:    []string{TopoArpanet, TopoRand3},
+		GroupSizes:    []int{8, 16},
+		Seeds:         2,
+		SimTime:       5,
+		DataRate:      1,
+		PruneLifetime: dvmrp.DefaultPruneLifetime,
+		Parallel:      1,
+		Partitions:    partitions,
+	}
+	points := RunFig89(cfg)
+	WriteFig8(&buf, points)
+	WriteFig9(&buf, points)
+
+	fcfg := FaultsConfig{
+		Topologies: []string{TopoArpanet},
+		LossRates:  []float64{0, 0.05},
+		GroupSize:  8,
+		Seeds:      2,
+		SimTime:    5,
+		DataRate:   1,
+		Parallel:   1,
+		Partitions: partitions,
+	}
+	WriteFaults(&buf, RunFaults(fcfg))
+	return buf.Bytes()
+}
+
+func TestPartitionedReportsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition sweep is the long differential gate")
+	}
+	serial := renderPartitionedReports(0)
+	if len(serial) == 0 {
+		t.Fatal("smoke reports rendered nothing")
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		got := renderPartitionedReports(k)
+		if !bytes.Equal(serial, got) {
+			t.Fatalf("reports diverge at %d partitions:\n--- serial ---\n%s\n--- k=%d ---\n%s",
+				k, serial, k, got)
+		}
+	}
+}
+
+// The gate above is vacuous if the sweep silently falls back to the
+// serial drive everywhere, so check eligibility directly: the Fig. 8/9
+// SCMP configuration on the ARPANET topology must actually engage the
+// partitioned drive, and the fault-hardened configuration must decline.
+func TestPartitionEngagement(t *testing.T) {
+	art := fig89ArtifactFor(TopoArpanet, 0)
+
+	n := netsim.New(art.g, core.New(core.Config{MRouter: art.center, Kappa: 1.5}))
+	if !n.Partition(4, 1) {
+		t.Fatal("plain SCMP on ARPANET should accept a partitioned drive")
+	}
+	if got := n.Partitions(); got < 2 {
+		t.Fatalf("Partitions() = %d after accepting k=4", got)
+	}
+
+	hard := netsim.New(art.g, faultsCore(art.center, true))
+	if hard.Partition(4, 1) {
+		t.Fatal("hardened reliability stack must decline the partitioned drive")
+	}
+	if got := hard.Partitions(); got != 1 {
+		t.Fatalf("Partitions() = %d after declining", got)
+	}
+
+	rest := netsim.New(art.g, dvmrp.New(dvmrp.DefaultPruneLifetime))
+	if rest.Partition(4, 1) {
+		t.Fatal("DVMRP does not implement ParallelSafe and must run serial")
+	}
+}
+
+// A direct end-to-end spot check outside the table renderers: one
+// Fig. 8-style SCMP run must produce the same metrics serial and
+// partitioned. Overhead sums are compared at the precision the report
+// tables print: a partitioned run accumulates each shard's crossings
+// locally and drains shard subtotals at window barriers, which
+// associates the float additions differently than the serial
+// interleaved sum — identical event sets, same values up to summation
+// order. MaxE2E is a max, so it must match exactly.
+func TestPartitionedRunMatchesSerialMetrics(t *testing.T) {
+	art := fig89ArtifactFor(TopoArpanet, 3)
+	members := pickMembers(rng.New(3*7919), art.g.N(), 10, -1)
+
+	type snap struct {
+		data, proto string
+		maxE2E      float64
+	}
+	run := func(parts int) snap {
+		cfg := Fig89Config{SimTime: 5, DataRate: 2, Partitions: parts}
+		data, protoOv, maxE2E, undelivered := runOne(art.g, "SCMP", cfg, 3, members, members[0], art.center)
+		if undelivered != 0 {
+			t.Fatalf("parts=%d: %d undelivered member packets", parts, undelivered)
+		}
+		return snap{
+			data:   fmt.Sprintf("%14.1f", data),
+			proto:  fmt.Sprintf("%14.1f", protoOv),
+			maxE2E: maxE2E,
+		}
+	}
+	serial := run(0)
+	for _, k := range []int{2, 4, 8} {
+		if got := run(k); got != serial {
+			t.Fatalf("k=%d metrics %+v diverge from serial %+v", k, got, serial)
+		}
+	}
+}

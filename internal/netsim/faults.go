@@ -1,10 +1,16 @@
 // Deterministic fault injection: the chaos layer the self-healing SCMP
 // control plane is hardened against. A FaultPlan describes per-class
 // packet loss and a schedule of link/node failures; Faults executes it
-// on the network's own DES clock, drawing every loss decision from one
-// rng stream derived from the plan's seed, so an identically-seeded run
-// replays the exact same faults — packet for packet — regardless of
-// host, parallelism or wall clock.
+// on the network's own DES clock. Every loss decision is a positional
+// draw — a stateless hash of (plan seed, directed link, per-link
+// crossing index) via rng.Hash01 — rather than a pull from one shared
+// sequential stream. A sequential stream would serialise all consumers
+// (each draw depends on how many draws happened before it anywhere in
+// the run), which the partitioned parallel simulator cannot provide;
+// positional draws give every link crossing the same verdict no matter
+// how execution is partitioned, so an identically-seeded run replays
+// the exact same faults — packet for packet — regardless of host,
+// parallelism, partition count or wall clock.
 package netsim
 
 import (
@@ -61,8 +67,8 @@ type FaultPlan struct {
 	// strictly before it — the "last fault" boundary recovery is
 	// measured from. Zero means loss applies for the whole run.
 	LossUntil des.Time
-	// Seed derives the loss stream (via internal/rng). Plans with equal
-	// seeds lose the same packets in the same order.
+	// Seed keys the positional loss draws (rng.Hash01). Plans with equal
+	// seeds lose the same crossings of the same links.
 	Seed int64
 	// Events are scheduled at install time. Same-time events apply in
 	// slice order (the DES breaks time ties by insertion sequence).
@@ -97,10 +103,19 @@ func mkLinkKey(u, v topology.NodeID) linkKey {
 type Faults struct {
 	net       *Network
 	plan      FaultPlan
-	rnd       *rng.Rand
 	downLinks map[linkKey]bool
 	downNodes map[topology.NodeID]bool
 	listeners []FaultListener
+
+	// Per-directed-link crossing counters for the positional loss
+	// draws: the fast path indexes by CSR arc id (each arc's admits run
+	// only in the sending node's partition, so the array is written
+	// race-free under parallel windows); the reference path keeps the
+	// historical map store. Both count crossings of the same directed
+	// link, so the draws coincide and the fast-vs-ref differential gate
+	// holds.
+	lossN []uint64
+	lossM map[dirLink]uint64
 }
 
 // InstallFaults attaches a fault plan to the network and schedules its
@@ -112,9 +127,15 @@ func (n *Network) InstallFaults(plan FaultPlan) *Faults {
 	f := &Faults{
 		net:       n,
 		plan:      plan,
-		rnd:       rng.New(plan.Seed),
 		downLinks: make(map[linkKey]bool),
 		downNodes: make(map[topology.NodeID]bool),
+	}
+	if n.refMode {
+		f.lossM = make(map[dirLink]uint64)
+	} else {
+		// Preallocated up front: lazy growth inside a parallel window
+		// would race.
+		f.lossN = make([]uint64, n.csr.NumArcs())
 	}
 	n.faults = f
 	for _, ev := range plan.Events {
@@ -195,22 +216,54 @@ func (f *Faults) AvoidSnapshot() topology.AvoidFunc {
 	}
 }
 
-// lose draws the loss decision for one crossing of a kind-classed
-// packet. No randomness is consumed when the class's rate is zero or
-// the loss window has closed, so such runs replay identically to
-// configurations without loss.
-func (f *Faults) lose(kind packet.Kind) bool {
-	rate := f.plan.DataLoss
+// lossRate returns the plan's drop probability for kind's class.
+func (f *Faults) lossRate(kind packet.Kind) float64 {
 	if packet.ClassOf(kind) == packet.ClassProtocol {
-		rate = f.plan.ControlLoss
+		return f.plan.ControlLoss
 	}
+	return f.plan.DataLoss
+}
+
+// lossPairKey packs a directed link into the positional draw key.
+func lossPairKey(from, to topology.NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// loseArc draws the loss decision for the n-th admitted crossing of the
+// directed link behind CSR arc a, offered at send time now (the sending
+// shard's clock). The draw is positional — hash(seed, link, n) — so it
+// depends only on the link and how many draws that link has seen, never
+// on draw order elsewhere in the run. The counter stays untouched when
+// the class's rate is zero or the loss window has closed, so such runs
+// replay identically to configurations without loss.
+func (f *Faults) loseArc(a int32, from, to topology.NodeID, kind packet.Kind, now des.Time) bool {
+	rate := f.lossRate(kind)
+	if rate <= 0 {
+		return false
+	}
+	if f.plan.LossUntil > 0 && now >= f.plan.LossUntil {
+		return false
+	}
+	nth := f.lossN[a]
+	f.lossN[a] = nth + 1
+	return rng.Hash01(f.plan.Seed, lossPairKey(from, to), nth) < rate
+}
+
+// loseRef is loseArc for the reference path: identical draws keyed by
+// the same (link, crossing-index) pairs, counted in the historical map
+// store against the reference scheduler's clock.
+func (f *Faults) loseRef(from, to topology.NodeID, kind packet.Kind) bool {
+	rate := f.lossRate(kind)
 	if rate <= 0 {
 		return false
 	}
 	if f.plan.LossUntil > 0 && f.net.Sched.Now() >= f.plan.LossUntil {
 		return false
 	}
-	return f.rnd.Float64() < rate
+	k := dirLink{from, to}
+	nth := f.lossM[k]
+	f.lossM[k] = nth + 1
+	return rng.Hash01(f.plan.Seed, lossPairKey(from, to), nth) < rate
 }
 
 // apply executes one fault event: update the down sets, reconverge the

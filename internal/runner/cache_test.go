@@ -1,0 +1,40 @@
+package runner
+
+import "testing"
+
+// Regression: a panicking build used to consume the entry's sync.Once,
+// so every later Get for the key silently returned the zero V. The
+// panic must be re-raised to every caller and the key must not be
+// rebuilt (the cache contract is build-exactly-once, success or not).
+func TestCachePanickingBuildDoesNotPoisonKey(t *testing.T) {
+	var c Cache[string, int]
+
+	catch := func(f func()) (v any) {
+		defer func() { v = recover() }()
+		f()
+		return nil
+	}
+
+	builds := 0
+	if got := catch(func() {
+		c.Get("k", func() int { builds++; panic("boom") })
+	}); got != "boom" {
+		t.Fatalf("first Get recovered %v, want the build panic", got)
+	}
+
+	// A later Get must not return zero silently, and must not re-run a
+	// build for the key: the original panic is re-raised.
+	if got := catch(func() {
+		c.Get("k", func() int { builds++; return 42 })
+	}); got != "boom" {
+		t.Fatalf("second Get recovered %v, want the original build panic re-raised", got)
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want exactly once", builds)
+	}
+
+	// Other keys are unaffected.
+	if v := c.Get("ok", func() int { return 7 }); v != 7 {
+		t.Fatalf("healthy key returned %d, want 7", v)
+	}
+}

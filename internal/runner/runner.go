@@ -139,11 +139,19 @@ type Cache[K comparable, V any] struct {
 type cacheEntry[V any] struct {
 	once sync.Once
 	v    V
+	// built distinguishes "v holds the build result" from "the build
+	// panicked": sync.Once marks itself done even when its function
+	// panics, so without the flag every later Get for the key would
+	// silently hand out the zero V.
+	built  bool
+	panicv any
 }
 
 // Get returns the cached value for k, building it on first use. Distinct
 // keys may build concurrently; concurrent Gets of the same key block
-// until the single build finishes.
+// until the single build finishes. If the build panics, the panic is
+// re-raised to every Get of that key — later callers see the original
+// failure, never a zero value.
 func (c *Cache[K, V]) Get(k K, build func() V) V {
 	c.mu.Lock()
 	if c.m == nil {
@@ -155,7 +163,20 @@ func (c *Cache[K, V]) Get(k K, build func() V) V {
 		c.m[k] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.v = build() })
+	e.once.Do(func() {
+		defer func() {
+			if !e.built {
+				e.panicv = recover()
+			}
+		}()
+		e.v = build()
+		e.built = true
+	})
+	// Once.Do orders the build (or its recovery) before every return,
+	// so built/panicv are safely visible to concurrent callers.
+	if !e.built {
+		panic(e.panicv)
+	}
 	return e.v
 }
 

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"math"
+
+	"scmp/internal/rng"
+)
+
+// Partition splits g's nodes into k parts for the partitioned parallel
+// simulator (DESIGN.md §12). The assignment is a pure function of
+// (graph, k, seed): farthest-point seeding by shortest-path delay — the
+// first seed drawn from the seed's rng stream, each subsequent seed the
+// node farthest (by delay) from every seed chosen so far — followed by a
+// multi-source Dijkstra Voronoi assignment, so each part is a
+// delay-compact region around its seed. Compact regions maximise the
+// minimum delay of a cross-part link, and that minimum is exactly the
+// conservative lookahead window the parallel coordinator can advance
+// per round, so a better cut is directly a longer window.
+//
+// The returned slice maps node id to part index in [0, k). k is clamped
+// to the node count; k <= 1 returns the all-zero (serial) assignment.
+func Partition(g *Graph, k int, seed int64) []int32 {
+	n := g.N()
+	part := make([]int32, n)
+	if n == 0 {
+		return part
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return part
+	}
+	c := g.CSR()
+	seeds := make([]NodeID, 1, k)
+	seeds[0] = NodeID(rng.New(seed).Intn(n))
+	isSeed := make([]bool, n)
+	isSeed[seeds[0]] = true
+	dist := make([]float64, n)
+	owner := make([]int32, n)
+	var h nodeHeap
+	for len(seeds) < k {
+		voronoiByDelay(c, seeds, dist, owner, &h)
+		// Next seed: the farthest reached non-seed (ties to the lowest
+		// id via the ascending scan); an unreached node — a component no
+		// seed lives in — takes priority so every component gets a seed
+		// before any is subdivided.
+		next := NodeID(-1)
+		best := -1.0
+		for v := 0; v < n; v++ {
+			if isSeed[v] {
+				continue
+			}
+			if math.IsInf(dist[v], 1) {
+				next = NodeID(v)
+				break
+			}
+			if dist[v] > best {
+				best = dist[v]
+				next = NodeID(v)
+			}
+		}
+		seeds = append(seeds, next)
+		isSeed[next] = true
+	}
+	voronoiByDelay(c, seeds, dist, owner, &h)
+	for v := 0; v < n; v++ {
+		if owner[v] < 0 {
+			// Unreached even with a seed per component can only mean
+			// more components than k; fold leftovers deterministically.
+			owner[v] = int32(v % k)
+		}
+	}
+	copy(part, owner)
+	return part
+}
+
+// voronoiByDelay assigns every node reachable from a seed to the seed
+// with the smallest shortest-path delay, filling dist and owner
+// (owner -1 = unreached). Relaxation is strictly `<` and the heap pops
+// in the (dist, node) ladder order, so equal-delay frontier ties are
+// decided by the ladder, never by float summation order — the owner map
+// is a pure function of the queued (node, key) sets.
+func voronoiByDelay(c *CSR, seeds []NodeID, dist []float64, owner []int32, h *nodeHeap) {
+	n := c.N()
+	for i := 0; i < n; i++ {
+		dist[i] = math.Inf(1)
+		owner[i] = -1
+	}
+	h.reset(n)
+	for i, s := range seeds {
+		dist[s] = 0
+		owner[s] = int32(i)
+		h.push(s, 0)
+	}
+	for h.len() > 0 {
+		it := h.pop()
+		u := it.node
+		lo, hi := c.Row(u)
+		for a := lo; a < hi; a++ {
+			v := c.ArcDst(a)
+			nd := it.dist + c.ArcDelay(a)
+			if nd < dist[v] {
+				dist[v] = nd
+				owner[v] = owner[u]
+				h.push(v, nd)
+			}
+		}
+	}
+}
+
+// MinCrossDelay returns the smallest delay over directed links whose
+// endpoints lie in different parts — the conservative lookahead of the
+// partitioned simulator: no event executed at local time t can cause an
+// event in another part before t + MinCrossDelay. +Inf when no link
+// crosses (k = 1, or fully part-contained components).
+func MinCrossDelay(g *Graph, part []int32) float64 {
+	c := g.CSR()
+	min := math.Inf(1)
+	n := c.N()
+	for u := 0; u < n; u++ {
+		lo, hi := c.Row(NodeID(u))
+		for a := lo; a < hi; a++ {
+			if part[c.ArcDst(a)] != part[u] && c.ArcDelay(a) < min {
+				min = c.ArcDelay(a)
+			}
+		}
+	}
+	return min
+}

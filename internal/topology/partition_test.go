@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"scmp/internal/rng"
+)
+
+func partitionTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	wg, err := Waxman(DefaultWaxman(100), rng.New(42))
+	if err != nil {
+		t.Fatalf("Waxman: %v", err)
+	}
+	return wg.Graph
+}
+
+func TestPartitionDeterministicAndComplete(t *testing.T) {
+	g := partitionTestGraph(t)
+	for _, k := range []int{1, 2, 4, 8} {
+		a := Partition(g, k, 7)
+		b := Partition(g, k, 7)
+		if len(a) != g.N() {
+			t.Fatalf("k=%d: assignment has %d entries, want %d", k, len(a), g.N())
+		}
+		sizes := make([]int, k)
+		for v, p := range a {
+			if p != b[v] {
+				t.Fatalf("k=%d: assignment not deterministic at node %d: %d vs %d", k, v, p, b[v])
+			}
+			if p < 0 || int(p) >= k {
+				t.Fatalf("k=%d: node %d assigned out-of-range part %d", k, v, p)
+			}
+			sizes[p]++
+		}
+		for p, sz := range sizes {
+			if sz == 0 {
+				t.Fatalf("k=%d: part %d is empty (farthest-point seeding must fill every part)", k, p)
+			}
+		}
+	}
+}
+
+func TestPartitionSeedSensitivity(t *testing.T) {
+	g := partitionTestGraph(t)
+	a := Partition(g, 4, 1)
+	b := Partition(g, 4, 2)
+	same := true
+	for v := range a {
+		if a[v] != b[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 4-way cuts; seeding is not wired through")
+	}
+}
+
+func TestPartitionClampsAndSerial(t *testing.T) {
+	g := partitionTestGraph(t)
+	for _, p := range Partition(g, 1, 3) {
+		if p != 0 {
+			t.Fatal("k=1 must be the all-zero serial assignment")
+		}
+	}
+	// k beyond n clamps: every node becomes its own part.
+	small := New(3)
+	if err := small.AddEdge(0, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := small.AddEdge(1, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	part := Partition(small, 10, 5)
+	seen := map[int32]bool{}
+	for _, p := range part {
+		if seen[p] {
+			t.Fatalf("k>n: part %d assigned twice in %v", p, part)
+		}
+		seen[p] = true
+	}
+}
+
+func TestMinCrossDelay(t *testing.T) {
+	g := partitionTestGraph(t)
+	part := Partition(g, 4, 7)
+	l := MinCrossDelay(g, part)
+	if !(l > 0) || math.IsInf(l, 1) {
+		t.Fatalf("4-way cut of a connected graph: MinCrossDelay = %v, want finite positive", l)
+	}
+	// Verify it is the true minimum over crossing arcs.
+	c := g.CSR()
+	min := math.Inf(1)
+	for u := 0; u < c.N(); u++ {
+		lo, hi := c.Row(NodeID(u))
+		for a := lo; a < hi; a++ {
+			if part[c.ArcDst(a)] != part[u] && c.ArcDelay(a) < min {
+				min = c.ArcDelay(a)
+			}
+		}
+	}
+	if l != min {
+		t.Fatalf("MinCrossDelay = %v, brute force = %v", l, min)
+	}
+	if got := MinCrossDelay(g, Partition(g, 1, 7)); !math.IsInf(got, 1) {
+		t.Fatalf("serial assignment has no crossing arcs; MinCrossDelay = %v, want +Inf", got)
+	}
+}
