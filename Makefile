@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick bench-partitions smoke-parallel smoke-faults smoke-partitions fmt
+.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick bench-partitions bench-churn smoke-parallel smoke-faults smoke-partitions smoke-churn fmt
 
 all: lint test
 
@@ -81,6 +81,15 @@ bench-partitions:
 	$(GO) test -bench DataPlanePartitioned -benchtime $(PARTITIONS_BENCHTIME) -benchmem -run '^$$' . | tee BENCH_partitions.txt
 	$(GO) run ./cmd/benchjson BENCH_partitions.txt > BENCH_partitions.json
 
+# Churn perf gate: the high-churn membership engine with the overload
+# defences on (2000 events/s, 5% control loss). The acceptance record
+# is BENCH_churn.txt/.json: simulator events/sec plus the peak
+# pending-operation queue the admission limit bounds.
+CHURN_BENCHTIME ?= 3x
+bench-churn:
+	$(GO) test -bench 'BenchmarkChurn$$' -benchtime $(CHURN_BENCHTIME) -benchmem -run '^$$' . | tee BENCH_churn.txt
+	$(GO) run ./cmd/benchjson BENCH_churn.txt > BENCH_churn.json
+
 # End-to-end smoke of the parallel runner under the race detector: a
 # quick Fig. 7 sweep fanned over 4 workers.
 smoke-parallel:
@@ -101,3 +110,15 @@ smoke-partitions:
 	$(GO) run -race ./cmd/scmpsim -experiment fig8 -quick -parallel 1 -partitions 8 -out smoke_partitions_p8.txt
 	cmp smoke_partitions_serial.txt smoke_partitions_p8.txt
 	rm -f smoke_partitions_serial.txt smoke_partitions_p8.txt
+
+# Churn smoke: the high-churn membership tests (driver, overload
+# protection, sweep acceptance, partition gating) under the race
+# detector with invariants armed, then an end-to-end CLI check that the
+# quick churn sweep renders the exact same bytes serial and fanned over
+# 4 workers.
+smoke-churn:
+	$(GO) test -race -tags invariants -count=1 -run 'Churn' ./internal/netsim/ ./internal/core/ ./internal/experiment/
+	$(GO) run ./cmd/scmpsim -experiment churn -quick -parallel 1 -out smoke_churn_serial.txt
+	$(GO) run -race ./cmd/scmpsim -experiment churn -quick -parallel 4 -out smoke_churn_p4.txt
+	cmp smoke_churn_serial.txt smoke_churn_p4.txt
+	rm -f smoke_churn_serial.txt smoke_churn_p4.txt

@@ -118,6 +118,20 @@ func dispatch(w io.Writer, opt options) error {
 		return cfg
 	}
 
+	churnCfg := func() experiment.ChurnConfig {
+		cfg := experiment.DefaultChurn()
+		if opt.quick {
+			cfg.Rates = []float64{100, 2000}
+			cfg.Seeds, cfg.GroupSize = 3, 10
+			cfg.Duration, cfg.Settle = 3, 6
+		}
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
+		}
+		cfg.Parallel, cfg.Partitions, cfg.Progress = opt.parallel, opt.partitions, opt.progressFor("churn")
+		return cfg
+	}
+
 	runFig7 := func() error {
 		cfg := fig7cfg()
 		header("== Fig. 7: multicast tree quality (Waxman n=%d, alpha=%.2f, beta=%.2f, %d seeds) ==\n",
@@ -223,6 +237,18 @@ func dispatch(w io.Writer, opt options) error {
 		// Deliberately not part of "all": the chaos sweep measures the
 		// robustness stack, not the paper's figures.
 		return runFaults()
+	case "churn":
+		// Likewise outside "all": the churn sweep measures the overload
+		// defences, not the paper's figures.
+		cfg := churnCfg()
+		header("== Churn sweep: membership flap rates under overload protection on/off (%d seeds, %.0fs churn + %.0fs settle) ==\n",
+			cfg.Seeds, cfg.Duration, cfg.Settle)
+		res := experiment.RunChurn(cfg)
+		if csv {
+			return experiment.WriteChurnCSV(w, res)
+		}
+		experiment.WriteChurn(w, res)
+		return nil
 	case "all":
 		if err := runFig7(); err != nil {
 			return err
@@ -254,6 +280,6 @@ func dispatch(w io.Writer, opt options) error {
 		header("\n")
 		return runConcentration()
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration, faults or all)", opt.experiment)
+		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration, faults, churn or all)", opt.experiment)
 	}
 }

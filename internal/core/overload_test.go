@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	destime "scmp/internal/des"
+	"scmp/internal/netsim"
+	"scmp/internal/topology"
+)
+
+// TestLeaveCancelsJoinRetry is the leave-vs-retry race audit: a member
+// joins inside a total control-loss window (so its JOIN sits on the
+// retransmission ladder), then leaves before any transmission got
+// through. The LEAVE supersedes the pending JOIN — cancelling its
+// retry timer — so once the loss heals no stale JOIN retransmission
+// may resurrect the membership.
+func TestLeaveCancelsJoinRetry(t *testing.T) {
+	n, s := newNet(meshGraph(), Config{MRouter: 0, AckTimeout: 10, RetryCap: 6})
+	n.InstallFaults(netsim.FaultPlan{ControlLoss: 1, LossUntil: 35, Seed: 3})
+	n.HostJoin(2, grp)
+	n.Sched.At(15, func() { n.HostLeave(2, grp) })
+	n.Run()
+
+	if tr := s.GroupTree(grp); tr != nil && len(tr.Members()) != 0 {
+		t.Fatalf("membership resurrected by a stale JOIN retry: %v", tr.Members())
+	}
+	if got := n.Members(grp); len(got) != 0 {
+		t.Fatalf("ground-truth members after leave: %v", got)
+	}
+	if e, ok := s.Entry(2, grp); ok && (e.OnTree || e.HasLocal) {
+		t.Fatalf("router 2 entry after leave: %+v", e)
+	}
+	if s.PendingRequests() != 0 {
+		t.Fatalf("%d pending requests after drain", s.PendingRequests())
+	}
+}
+
+// TestLeaveCancelsParkedJoin is the same audit for the parked state: a
+// JOIN that exhausted its retry budget and parked must be cancelled by
+// a subsequent leave — the deferred re-attempt may not resurrect the
+// membership either.
+func TestLeaveCancelsParkedJoin(t *testing.T) {
+	n, s := newNet(meshGraph(), Config{MRouter: 0, AckTimeout: 5, RetryBudget: 2, RefreshInterval: 40})
+	n.InstallFaults(netsim.FaultPlan{ControlLoss: 1, LossUntil: 60, Seed: 3})
+	n.HostJoin(2, grp)
+	// Ladder: transmit at 0, retries at 5 and 15, park at 35 with a
+	// deferred re-attempt at 75. The leave at 50 lands in between.
+	n.Sched.At(50, func() {
+		if s.ParkedRequests() != 1 {
+			t.Errorf("parked requests at t=50: %d, want 1", s.ParkedRequests())
+		}
+		n.HostLeave(2, grp)
+		if s.ParkedRequests() != 0 {
+			t.Errorf("leave did not unpark the stale JOIN")
+		}
+	})
+	n.RunUntil(200)
+	s.Quiesce()
+	n.Run()
+
+	if n.Metrics.Parks() == 0 {
+		t.Fatal("no park recorded")
+	}
+	if tr := s.GroupTree(grp); tr != nil && len(tr.Members()) != 0 {
+		t.Fatalf("membership resurrected by a parked JOIN: %v", tr.Members())
+	}
+}
+
+// TestQuiesceCancelsParkedTimers: Quiesce must cancel parked deferred
+// re-attempt timers (not just pending retry timers), or the final
+// drain would spin re-attempts forever under sustained loss.
+func TestQuiesceCancelsParkedTimers(t *testing.T) {
+	n, s := newNet(meshGraph(), Config{MRouter: 0, AckTimeout: 5, RetryBudget: 1})
+	n.InstallFaults(netsim.FaultPlan{ControlLoss: 1, Seed: 1}) // loss never heals
+	n.HostJoin(2, grp)
+	n.RunUntil(100)
+	s.Quiesce()
+	n.Run() // must terminate
+	if s.ParkedRequests() != 0 || s.PendingRequests() != 0 {
+		t.Fatalf("quiesce left %d parked / %d pending requests",
+			s.ParkedRequests(), s.PendingRequests())
+	}
+}
+
+// TestRetryBudgetParksAndRecovers: a JOIN that burns its whole retry
+// budget inside a loss window parks, then recovers via the deferred
+// re-attempt once the loss heals — and both transitions are counted.
+func TestRetryBudgetParksAndRecovers(t *testing.T) {
+	n, s := newNet(meshGraph(), Config{MRouter: 0, AckTimeout: 5, RetryBudget: 2, RefreshInterval: 40})
+	n.InstallFaults(netsim.FaultPlan{ControlLoss: 1, LossUntil: 60, Seed: 3})
+	n.HostJoin(2, grp)
+	// Transmissions at 0/5/15 are lost; park at 35; the deferred
+	// re-attempt at 75 is past the loss window and succeeds.
+	n.RunUntil(150)
+	s.Quiesce()
+	n.Run()
+
+	if n.Metrics.Parks() == 0 {
+		t.Fatal("budget exhausted but no park recorded")
+	}
+	if n.Metrics.ParkRecovers() == 0 {
+		t.Fatal("parked JOIN never recovered")
+	}
+	if missing := probe(t, n, 0); len(missing) != 0 {
+		t.Fatalf("member stranded after park recovery: %v", missing)
+	}
+}
+
+// TestAdmissionShedsAndConverges: four members join at once against a
+// slow single-processor m-router with a one-slot admission queue. The
+// overflow JOINs are shed with NACKs; the retry-after path must still
+// converge every member, and the sheds must be counted.
+func TestAdmissionShedsAndConverges(t *testing.T) {
+	n, s := newNet(meshGraph(), Config{
+		MRouter: 0, ServiceTime: 5, Processors: 1,
+		AdmitLimit: 1, AckTimeout: 10, RetryCap: 8,
+	})
+	n.InstallFaults(netsim.FaultPlan{})
+	for _, m := range []topology.NodeID{2, 3, 4, 5} {
+		n.HostJoin(m, grp)
+	}
+	n.Run()
+
+	if n.Metrics.Sheds() == 0 {
+		t.Fatal("admission control never shed under a full queue")
+	}
+	if missing := probe(t, n, 0); len(missing) != 0 {
+		t.Fatalf("shed members never converged: %v", missing)
+	}
+	if s.ControlBacklog() != 0 {
+		t.Fatalf("control backlog %d after drain", s.ControlBacklog())
+	}
+}
+
+// TestRefreshSuppression: under a steady membership-change drip every
+// refresh tick lands within one interval of the last change, so with
+// suppression on the ticks are skipped (and counted); with it off the
+// same schedule skips nothing.
+func TestRefreshSuppression(t *testing.T) {
+	run := func(suppress bool) (skips int64) {
+		n, s := newNet(meshGraph(), Config{
+			MRouter: 0, AckTimeout: 5, RefreshInterval: 10, RefreshSuppress: suppress,
+		})
+		n.HostJoin(3, grp) // stable member keeps the tree non-empty
+		for i := 0; i < 6; i++ {
+			at, flapOn := float64(4+8*i), i%2 == 0
+			n.Sched.At(destime.Time(at), func() {
+				if flapOn {
+					n.HostJoin(2, grp)
+				} else {
+					n.HostLeave(2, grp)
+				}
+			})
+		}
+		n.RunUntil(60)
+		s.Quiesce()
+		n.Run()
+		if missing := probe(t, n, 0); len(missing) != 0 {
+			t.Fatalf("suppress=%v: probe missing %v", suppress, missing)
+		}
+		return n.Metrics.RefreshSkips()
+	}
+	if skips := run(true); skips == 0 {
+		t.Fatal("suppression on: no refresh tick was skipped")
+	}
+	if skips := run(false); skips != 0 {
+		t.Fatalf("suppression off: %d ticks skipped", skips)
+	}
+}

@@ -29,13 +29,16 @@ type pendingKey struct {
 	g    packet.GroupID
 }
 
-// pendingReq is one unacknowledged reliable request.
+// pendingReq is one unacknowledged reliable request. fromPark marks a
+// parked request's deferred re-attempt, so its eventual ACK can be
+// counted as a park recovery.
 type pendingReq struct {
-	kind    packet.Kind
-	payload []byte
-	seq     uint64
-	attempt int
-	timer   *des.Event
+	kind     packet.Kind
+	payload  []byte
+	seq      uint64
+	attempt  int
+	timer    *des.Event
+	fromPark bool
 }
 
 var _ netsim.FaultListener = (*SCMP)(nil)
@@ -48,6 +51,12 @@ var _ netsim.FaultListener = (*SCMP)(nil)
 // acknowledged or the retry cap is reached; otherwise it degrades to
 // the classic fire-and-forget unicast.
 func (s *SCMP) sendReliable(node topology.NodeID, g packet.GroupID, kind packet.Kind, payload []byte) {
+	s.sendReliableOpt(node, g, kind, payload, false)
+}
+
+// sendReliableOpt is sendReliable with the fromPark provenance flag set
+// by a parked request's deferred re-attempt.
+func (s *SCMP) sendReliableOpt(node topology.NodeID, g packet.GroupID, kind packet.Kind, payload []byte, fromPark bool) {
 	if s.cfg.AckTimeout <= 0 {
 		s.net.SendUnicast(node, &netsim.Packet{
 			Kind:    kind,
@@ -60,11 +69,12 @@ func (s *SCMP) sendReliable(node topology.NodeID, g packet.GroupID, kind packet.
 		return
 	}
 	key := pendingKey{node, g}
+	s.unpark(key) // a newer request supersedes any parked one
 	if old := s.pending[key]; old != nil && old.timer != nil {
 		old.timer.Cancel()
 	}
 	s.reqSeq++
-	p := &pendingReq{kind: kind, payload: payload, seq: s.reqSeq}
+	p := &pendingReq{kind: kind, payload: payload, seq: s.reqSeq, fromPark: fromPark}
 	s.pending[key] = p
 	s.transmitReq(key, p)
 	s.armRetry(key, p)
@@ -89,24 +99,42 @@ func (s *SCMP) transmitReq(key pendingKey, p *pendingReq) {
 // AckTimeout doubled per attempt already made.
 func (s *SCMP) armRetry(key pendingKey, p *pendingReq) {
 	backoff := des.Time(s.cfg.AckTimeout * float64(uint64(1)<<uint(p.attempt)))
-	p.timer = s.net.Sched.After(backoff, func() {
-		if s.pending[key] != p {
-			return // acknowledged or superseded since
+	p.timer = s.net.Sched.After(backoff, func() { s.retryFire(key, p) })
+}
+
+// retryFire is one retransmission-timer expiry (or a NACK-directed
+// deferred retransmission): at the retry limit the request gives up —
+// parking when a retry budget is configured — otherwise it retransmits
+// and re-arms the next backoff step.
+func (s *SCMP) retryFire(key pendingKey, p *pendingReq) {
+	if s.pending[key] != p {
+		return // acknowledged or superseded since
+	}
+	if p.attempt >= s.retryLimit() {
+		// Give up: the soft-state refresh (and ground-truth re-reports
+		// after a restart) are the backstop — or, with a retry budget
+		// configured, the parked deferred re-attempt (overload.go).
+		delete(s.pending, key)
+		if s.cfg.RetryBudget > 0 {
+			s.park(key, p)
 		}
-		cap := s.cfg.RetryCap
-		if cap < 1 {
-			cap = defaultRetryCap
-		}
-		if p.attempt >= cap {
-			// Give up: the soft-state refresh (and ground-truth
-			// re-reports after a restart) are the backstop.
-			delete(s.pending, key)
-			return
-		}
-		p.attempt++
-		s.transmitReq(key, p)
-		s.armRetry(key, p)
-	})
+		return
+	}
+	p.attempt++
+	s.transmitReq(key, p)
+	s.armRetry(key, p)
+}
+
+// retryLimit returns the retransmissions allowed per reliable request:
+// the retry budget when configured, else the legacy cap.
+func (s *SCMP) retryLimit() int {
+	if s.cfg.RetryBudget > 0 {
+		return s.cfg.RetryBudget
+	}
+	if s.cfg.RetryCap < 1 {
+		return defaultRetryCap
+	}
+	return s.cfg.RetryCap
 }
 
 // ack is the m-router's acknowledgement of a reliable request. Requests
@@ -142,6 +170,9 @@ func (s *SCMP) handleAck(node topology.NodeID, pkt *netsim.Packet) {
 	if p.timer != nil {
 		p.timer.Cancel()
 	}
+	if p.fromPark {
+		s.net.NoteParkRecover(node)
+	}
 	delete(s.pending, key)
 }
 
@@ -169,6 +200,16 @@ func (s *SCMP) refreshGroup(g packet.GroupID, gs *groupState) {
 	if len(tree.Members()) == 0 && tree.Size() == 1 && len(gs.deferred) == 0 {
 		return
 	}
+	if s.cfg.RefreshSuppress && len(gs.deferred) == 0 &&
+		s.net.Now()-gs.lastChange < des.Time(s.cfg.RefreshInterval) {
+		// Refresh-storm suppression: the entry changed within the last
+		// interval, so the distribution that accompanied the change
+		// already reconverged any diverged router — this tick would be
+		// a redundant TREE storm. Skip it but keep the timer alive.
+		s.net.NoteRefreshSkip(s.home(g))
+		s.armRefresh(g, gs)
+		return
+	}
 	if s.regraftDeferred(g, gs) {
 		s.syncMRouterEntry(g, gs)
 	}
@@ -194,6 +235,12 @@ func (s *SCMP) Quiesce() {
 			p.timer.Cancel()
 		}
 		delete(s.pending, key)
+	}
+	for key, pk := range s.parked {
+		if pk.timer != nil {
+			pk.timer.Cancel()
+		}
+		delete(s.parked, key)
 	}
 }
 
@@ -231,6 +278,14 @@ func (s *SCMP) NodeDown(n topology.NodeID) {
 				p.timer.Cancel()
 			}
 			delete(s.pending, key)
+		}
+	}
+	for key, pk := range s.parked {
+		if key.node == n {
+			if pk.timer != nil {
+				pk.timer.Cancel()
+			}
+			delete(s.parked, key)
 		}
 	}
 	if s.cfg.DisableRepair {
@@ -295,6 +350,7 @@ func (s *SCMP) mrouterRejoin(g packet.GroupID, info packet.RejoinInfo) {
 	if gs == nil {
 		return
 	}
+	gs.lastChange = s.net.Now()
 	home := s.home(g)
 	tree := gs.dcdm.Tree()
 	// A dead router takes its whole subtree down; a dead link only the
@@ -351,6 +407,7 @@ func (s *SCMP) healGroups() {
 	for _, g := range s.sortedGroupIDs() {
 		gs := s.groups[g]
 		if s.regraftDeferred(g, gs) {
+			gs.lastChange = s.net.Now()
 			s.syncMRouterEntry(g, gs)
 			gs.version++
 			s.distributeTree(g, gs)

@@ -37,6 +37,14 @@ type entry struct {
 	hasLocal     bool // >=1 member interface on the local subnet
 	pendingLocal bool // IGMP report seen, tree installation still in flight
 	version      uint64
+	// lastSeq records the highest data sequence forwarded per source —
+	// the shared-tree analog of an RPF check. On a consistent tree each
+	// router sees every (source, seq) exactly once, so the filter never
+	// drops; when churn plus lost prune distributions leave stale
+	// downstream pointers that close a forwarding cycle, the second
+	// visit of a packet to any router on the cycle is suppressed here,
+	// turning an infinite packet storm into at most one extra traversal.
+	lastSeq map[topology.NodeID]uint64
 	// downCache is the ascending downstream list the forwarding paths
 	// iterate; downDirty marks it stale after a downstream mutation, so
 	// the per-packet hot path never sorts (see down).
@@ -50,7 +58,11 @@ type entry struct {
 }
 
 func newEntry() *entry {
-	return &entry{upstream: noUpstream, downstream: make(map[topology.NodeID]bool)}
+	return &entry{
+		upstream:   noUpstream,
+		downstream: make(map[topology.NodeID]bool),
+		lastSeq:    make(map[topology.NodeID]uint64),
+	}
 }
 
 // down returns the downstream routers in ascending order, cached until
@@ -80,6 +92,11 @@ type groupState struct {
 	// faulted topology has no path to them; they are retried on every
 	// refresh tick and topology heal.
 	deferred map[topology.NodeID]bool
+	// lastChange timestamps the group's most recent membership or
+	// repair change (with its accompanying distribution); the
+	// refresh-suppression heuristic compares it against the refresh
+	// interval. Refresh ticks themselves do not update it.
+	lastChange des.Time
 }
 
 func (gs *groupState) deferMember(m topology.NodeID) {
@@ -150,6 +167,30 @@ type Config struct {
 	// zero value included) disables the feature, so node 0 cannot serve
 	// as the standby — place the m-routers elsewhere if you need one.
 	Standby topology.NodeID
+	// AdmitLimit, when positive, bounds the m-router's pending
+	// control-operation queue: a JOIN arriving while the service
+	// backlog has reached the limit is shed — refused with a NACK
+	// carrying a retry-after hint (newest JOINs shed first; LEAVE and
+	// REJOIN are always admitted, so departures and repairs drain the
+	// tree even under overload). Only meaningful with a ServiceTime:
+	// instantaneous control processing never has a backlog. Zero — the
+	// default — admits everything, byte-identical to legacy.
+	AdmitLimit int
+	// RetryBudget, when positive, replaces RetryCap as the bound on a
+	// reliable request's retransmission ladder and changes what happens
+	// at exhaustion: instead of silently dropping the request, the
+	// sender parks it — a degraded state holding one deferred
+	// re-attempt timer (the refresh interval, or the next backoff step
+	// when refresh is off) in place of the exponential ladder. Zero —
+	// the default — keeps the legacy give-up behaviour.
+	RetryBudget int
+	// RefreshSuppress, when set, skips the soft-state TREE
+	// redistribution for groups whose entry changed within the last
+	// RefreshInterval: the distribution that accompanied the change
+	// already reconverged any diverged router, so the tick would be a
+	// redundant packet storm under churn. Groups owing deferred grafts
+	// always refresh. Off by default.
+	RefreshSuppress bool
 }
 
 // SCMP is the protocol instance managing every router in a domain.
@@ -177,8 +218,11 @@ type SCMP struct {
 	epoch uint64
 	// pending tracks unacknowledged reliable control requests by
 	// (requester, group); reqSeq numbers them so a late ACK for a
-	// superseded request is ignored.
+	// superseded request is ignored. parked holds requests that
+	// exhausted their retry budget and wait on a single deferred
+	// re-attempt timer (overload.go).
 	pending map[pendingKey]*pendingReq
+	parked  map[pendingKey]*parkedReq
 	reqSeq  uint64
 }
 
@@ -219,6 +263,7 @@ func New(cfg Config) *SCMP {
 		groups:  make(map[packet.GroupID]*groupState),
 		replica: make(map[packet.GroupID]map[topology.NodeID]bool),
 		pending: make(map[pendingKey]*pendingReq),
+		parked:  make(map[pendingKey]*parkedReq),
 	}
 }
 
@@ -446,6 +491,7 @@ func (s *SCMP) sendPrune(node topology.NodeID, g packet.GroupID, e *entry) {
 // replicates it to the standby, and distributes the tree change.
 func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
 	gs := s.group(g)
+	gs.lastChange = s.net.Now()
 	defer s.armRefresh(g, gs)
 	s.acct.Adopt(g, fmt.Sprintf("group-%d", g))
 	if gs.session == 0 {
@@ -464,6 +510,9 @@ func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
 		return
 	}
 	res := gs.dcdm.Join(member)
+	if res.Restructured {
+		s.net.NoteRestructure(s.home(g))
+	}
 	s.syncMRouterEntry(g, gs)
 	if res.AlreadyOn {
 		// Tree unchanged — the member was already a relay. Refresh its
@@ -492,6 +541,7 @@ func (s *SCMP) mrouterLeave(member topology.NodeID, g packet.GroupID) {
 	_ = s.acct.MemberLeft(g, member)
 	s.replicate(g, member, false)
 	delete(gs.deferred, member)
+	gs.lastChange = s.net.Now()
 	gs.dcdm.Leave(member)
 	s.syncMRouterEntry(g, gs)
 }
@@ -596,6 +646,7 @@ func (s *SCMP) Failover() {
 			}
 			gs.dcdm.Join(m)
 		}
+		gs.lastChange = s.net.Now()
 		s.syncMRouterEntry(g, gs)
 		gs.version++
 		s.distributeTree(g, gs)
@@ -672,6 +723,9 @@ func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
 	case packet.Join:
 		if s.isHome(node, pkt.Group) {
 			member, g, seq := pkt.Src, pkt.Group, pkt.Seq
+			if !s.admitJoin(node, g, member, seq) {
+				return // shed: the NACK (if any) is already on the wire
+			}
 			s.service.submit(func() {
 				s.mrouterJoin(member, g)
 				s.ack(g, packet.Join, member, seq)
@@ -700,6 +754,10 @@ func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
 	case packet.Ack:
 		if pkt.Dst == node {
 			s.handleAck(node, pkt)
+		}
+	case packet.Nack:
+		if pkt.Dst == node {
+			s.handleNack(node, pkt)
 		}
 	case packet.Replicate:
 		if node == s.cfg.Standby {
@@ -738,7 +796,10 @@ func (s *SCMP) ParallelWindowSafe() bool {
 		s.cfg.Standby < 0 &&
 		s.cfg.AckTimeout <= 0 &&
 		s.cfg.RefreshInterval <= 0 &&
-		s.cfg.ServiceTime <= 0
+		s.cfg.ServiceTime <= 0 &&
+		s.cfg.AdmitLimit <= 0 &&
+		s.cfg.RetryBudget <= 0 &&
+		!s.cfg.RefreshSuppress
 }
 
 func (s *SCMP) handleTree(node topology.NodeID, pkt *netsim.Packet) {
@@ -978,6 +1039,11 @@ func (s *SCMP) handleData(node topology.NodeID, pkt *netsim.Packet) {
 		s.net.DropData(node)
 		return
 	}
+	if last, seen := e.lastSeq[pkt.Src]; seen && pkt.Seq <= last {
+		s.net.DropData(node) // duplicate: a forwarding cycle is feeding us
+		return
+	}
+	e.lastSeq[pkt.Src] = pkt.Seq
 	s.recordTraffic(node, pkt.Group, pkt.Size)
 	s.forwardOnTree(node, e, pkt, pkt.From)
 	if e.hasLocal {

@@ -23,6 +23,10 @@ type serviceCenter struct {
 	requests  uint64
 	totalWait des.Time
 	maxWait   des.Time
+
+	// outstanding counts operations submitted but not yet executed —
+	// the pending-operation queue depth admission control bounds.
+	outstanding int
 }
 
 func newServiceCenter(sched *des.Scheduler, serviceTime des.Time, processors int) *serviceCenter {
@@ -62,8 +66,17 @@ func (sc *serviceCenter) submit(fn func()) {
 	if wait > sc.maxWait {
 		sc.maxWait = wait
 	}
-	sc.sched.At(finish, fn)
+	sc.outstanding++
+	sc.sched.At(finish, func() {
+		sc.outstanding--
+		fn()
+	})
 }
+
+// backlog returns the pending-operation queue depth: operations
+// submitted but whose service has not yet completed. Always 0 with no
+// service time (submissions execute synchronously).
+func (sc *serviceCenter) backlog() int { return sc.outstanding }
 
 // ServiceStats reports the m-router's control-plane load figures.
 type ServiceStats struct {

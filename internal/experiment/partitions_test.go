@@ -98,6 +98,38 @@ func TestPartitionEngagement(t *testing.T) {
 	}
 }
 
+// TestChurnPartitionGated extends the eligibility checks to the churn
+// additions: a network with an installed churn plan must decline the
+// partitioned drive even for an otherwise-safe protocol (the driver
+// mutates shared membership state from global barrier events), and each
+// overload-protection knob alone must gate SCMP off the windowed drive.
+func TestChurnPartitionGated(t *testing.T) {
+	art := fig89ArtifactFor(TopoArpanet, 0)
+
+	n := netsim.New(art.g, core.New(core.Config{MRouter: art.center, Kappa: 1.5}))
+	n.InstallChurn(netsim.ChurnPlan{
+		Group: faultsGroup, Members: pickMembers(rng.New(1), art.g.N(), 8, art.center),
+		Rate: 100, Duration: 2, Seed: 1,
+	})
+	if n.Partition(4, 1) {
+		t.Fatal("churned network accepted the partitioned drive")
+	}
+	if got := n.Partitions(); got != 1 {
+		t.Fatalf("Partitions() = %d after declining under churn", got)
+	}
+
+	for name, cfg := range map[string]core.Config{
+		"admit-limit":      {MRouter: art.center, Kappa: 1.5, AdmitLimit: 8},
+		"retry-budget":     {MRouter: art.center, Kappa: 1.5, RetryBudget: 2},
+		"refresh-suppress": {MRouter: art.center, Kappa: 1.5, RefreshSuppress: true},
+	} {
+		hard := netsim.New(art.g, core.New(cfg))
+		if hard.Partition(4, 1) {
+			t.Fatalf("%s: overload-protected SCMP accepted the partitioned drive", name)
+		}
+	}
+}
+
 // A direct end-to-end spot check outside the table renderers: one
 // Fig. 8-style SCMP run must produce the same metrics serial and
 // partitioned. Overhead sums are compared at the precision the report

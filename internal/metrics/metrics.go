@@ -55,6 +55,16 @@ type Collector struct {
 	recoveries  int64
 	recoverySum float64
 	recoveryMax float64
+
+	// Overload-protection and churn counters (per-cause): JOINs shed by
+	// admission control, requests parked after exhausting their retry
+	// budget, parked requests that later recovered, soft-state TREE
+	// refreshes suppressed as redundant, and tree restructurings.
+	sheds        int64
+	parks        int64
+	parkRecovers int64
+	refreshSkips int64
+	restructures int64
 }
 
 // UseDenseLinks registers the run's undirected link table, enabling the
@@ -138,6 +148,40 @@ func (c *Collector) OnRecovery(d float64) {
 		c.recoveryMax = d
 	}
 }
+
+// OnShed records one JOIN refused by m-router admission control.
+func (c *Collector) OnShed() { c.sheds++ }
+
+// OnPark records one reliable request that exhausted its retry budget
+// and entered the degraded parked state.
+func (c *Collector) OnPark() { c.parks++ }
+
+// OnParkRecover records one parked request whose deferred re-attempt
+// was finally acknowledged.
+func (c *Collector) OnParkRecover() { c.parkRecovers++ }
+
+// OnRefreshSkip records one soft-state TREE refresh suppressed because
+// the group's entry changed within the last refresh interval.
+func (c *Collector) OnRefreshSkip() { c.refreshSkips++ }
+
+// OnRestructure records one tree restructuring (a membership change
+// that rebuilt the whole tree rather than grafting a branch).
+func (c *Collector) OnRestructure() { c.restructures++ }
+
+// Sheds returns the number of admission-control JOIN refusals recorded.
+func (c *Collector) Sheds() int64 { return c.sheds }
+
+// Parks returns the number of retry-budget exhaustions recorded.
+func (c *Collector) Parks() int64 { return c.parks }
+
+// ParkRecovers returns the number of parked-request recoveries recorded.
+func (c *Collector) ParkRecovers() int64 { return c.parkRecovers }
+
+// RefreshSkips returns the number of suppressed TREE refreshes recorded.
+func (c *Collector) RefreshSkips() int64 { return c.refreshSkips }
+
+// Restructures returns the number of tree restructurings recorded.
+func (c *Collector) Restructures() int64 { return c.restructures }
 
 // DataOverhead returns the accumulated data overhead in link-cost units.
 func (c *Collector) DataOverhead() float64 { return c.dataUnits }
@@ -336,9 +380,15 @@ func (c *Collector) Drain(src *Collector) {
 	if src.recoveryMax > c.recoveryMax {
 		c.recoveryMax = src.recoveryMax
 	}
+	c.sheds += src.sheds
+	c.parks += src.parks
+	c.parkRecovers += src.parkRecovers
+	c.refreshSkips += src.refreshSkips
+	c.restructures += src.restructures
 	src.dataUnits, src.protoUnits = 0, 0
 	src.dataBytes, src.protoBytes = 0, 0
 	src.delivered, src.dropped, src.ctlDrops = 0, 0, 0
 	src.delaySum, src.maxDelay = 0, 0
 	src.recoveries, src.recoverySum, src.recoveryMax = 0, 0, 0
+	src.sheds, src.parks, src.parkRecovers, src.refreshSkips, src.restructures = 0, 0, 0, 0, 0
 }

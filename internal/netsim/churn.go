@@ -1,0 +1,188 @@
+// Churn driver: a seeded membership workload generator. Each member in
+// a ChurnPlan alternates between on-tree and off-tree episodes whose
+// lengths are drawn from a Poisson (exponential gaps) or heavy-tailed
+// (Pareto gaps) renewal process, producing sustained join/leave/rejoin
+// pressure on the control plane — thousands of membership events per
+// simulated second at the rates the churn experiment sweeps. Event
+// times are pre-generated from one rng.Rand per member (split off the
+// plan seed in member order), so a (plan, seed) pair always yields the
+// byte-identical event schedule regardless of how the run is driven.
+//
+// Churn composes with the fault layer: InstallChurn and InstallFaults
+// can both be applied to one network, so membership pressure runs under
+// control-plane loss and link cuts. It does NOT compose with the
+// partitioned parallel drive — membership events are global-scheduler
+// barrier events that mutate shared protocol state, far outside the
+// steady-state window workload the ParallelSafe certification covers —
+// so a churned network always falls back to the serial drive
+// (Partition returns false; see DESIGN.md §13).
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"scmp/internal/des"
+	"scmp/internal/packet"
+	"scmp/internal/rng"
+	"scmp/internal/topology"
+)
+
+// ChurnDist selects the inter-event gap distribution of a churn plan.
+type ChurnDist int
+
+const (
+	// ChurnPoisson draws exponential gaps: memoryless arrivals, the
+	// classic Poisson membership process.
+	ChurnPoisson ChurnDist = iota
+	// ChurnPareto draws Pareto gaps: heavy-tailed episodes where a few
+	// members stay put for a long time while most flap rapidly.
+	ChurnPareto
+)
+
+func (d ChurnDist) String() string {
+	switch d {
+	case ChurnPoisson:
+		return "poisson"
+	case ChurnPareto:
+		return "pareto"
+	default:
+		return fmt.Sprintf("ChurnDist(%d)", int(d))
+	}
+}
+
+// DefaultChurnAlpha is the Pareto shape used when ChurnPlan.Alpha is
+// zero. Must exceed 1 or the gap distribution has no finite mean.
+const DefaultChurnAlpha = 1.5
+
+// ChurnPlan describes one churn workload: which members flap, how
+// fast, with which gap distribution, and over which window.
+type ChurnPlan struct {
+	Group    packet.GroupID
+	Members  []topology.NodeID // the flapping population, in draw order
+	Rate     float64           // aggregate membership events per simulated second
+	Dist     ChurnDist
+	Alpha    float64 // Pareto shape; 0 = DefaultChurnAlpha; ignored for Poisson
+	Start    float64 // first event no earlier than this time
+	Duration float64 // events generated in [Start, Start+Duration)
+	Seed     int64
+}
+
+// Churn is one installed churn plan with its pre-generated event
+// counts.
+type Churn struct {
+	plan    ChurnPlan
+	events  int
+	joins   int
+	rejoins int
+	leaves  int
+}
+
+// Plan returns the installed plan.
+func (c *Churn) Plan() ChurnPlan { return c.plan }
+
+// Events returns the total membership events generated.
+func (c *Churn) Events() int { return c.events }
+
+// Joins returns the first-time join events generated.
+func (c *Churn) Joins() int { return c.joins }
+
+// Rejoins returns the rejoin (join after a leave) events generated.
+func (c *Churn) Rejoins() int { return c.rejoins }
+
+// Leaves returns the leave events generated.
+func (c *Churn) Leaves() int { return c.leaves }
+
+// InstallChurn pre-generates the plan's membership schedule and queues
+// every event on the global scheduler. It must run before the network
+// runs and must not follow Partition (churned networks are serial-only;
+// install churn first and Partition will decline). The returned Churn
+// reports the generated event mix.
+func (n *Network) InstallChurn(plan ChurnPlan) *Churn {
+	if n.pd != nil {
+		panic("netsim: InstallChurn after Partition")
+	}
+	if len(plan.Members) == 0 {
+		panic("netsim: churn plan has no members")
+	}
+	if !(plan.Rate > 0) {
+		panic("netsim: churn plan rate must be positive")
+	}
+	if !(plan.Duration > 0) {
+		panic("netsim: churn plan duration must be positive")
+	}
+	alpha := plan.Alpha
+	if alpha == 0 {
+		alpha = DefaultChurnAlpha
+	}
+	if plan.Dist == ChurnPareto && !(alpha > 1) {
+		panic("netsim: Pareto churn needs alpha > 1 (finite mean)")
+	}
+	c := &Churn{plan: plan}
+	// Aggregate Rate spread over the population: each member's renewal
+	// process has mean gap population/Rate, so the expected event total
+	// is Rate * Duration regardless of member count.
+	mean := float64(len(plan.Members)) / plan.Rate
+	// Pareto scale chosen so the gap mean matches the Poisson case:
+	// E[gap] = xm*alpha/(alpha-1) = mean.
+	xm := mean * (alpha - 1) / alpha
+	end := plan.Start + plan.Duration
+	parent := rng.New(plan.Seed)
+	for _, m := range plan.Members {
+		r := rng.Split(parent)
+		member, g := m, plan.Group
+		on, joined := false, false
+		for t := plan.Start; ; {
+			var gap float64
+			if plan.Dist == ChurnPareto {
+				gap = xm / math.Pow(1-r.Float64(), 1/alpha)
+			} else {
+				gap = r.ExpFloat64() * mean
+			}
+			t += gap
+			if t >= end {
+				break
+			}
+			on = !on
+			c.events++
+			if on {
+				if joined {
+					c.rejoins++
+				} else {
+					c.joins++
+					joined = true
+				}
+				n.Sched.At(des.Time(t), func() { n.HostJoin(member, g) })
+			} else {
+				c.leaves++
+				n.Sched.At(des.Time(t), func() { n.HostLeave(member, g) })
+			}
+		}
+	}
+	n.churn = append(n.churn, c)
+	return c
+}
+
+// --- Overload-protection metric taps ----------------------------------
+//
+// The protocol reports overload events through the network so they land
+// in the correct metrics shard (keyed by the router where the event
+// happened), mirroring DropData.
+
+// NoteShed records a JOIN refused by admission control at router node.
+func (n *Network) NoteShed(node topology.NodeID) { n.shardOf(node).col.OnShed() }
+
+// NotePark records a request at router node exhausting its retry
+// budget and parking.
+func (n *Network) NotePark(node topology.NodeID) { n.shardOf(node).col.OnPark() }
+
+// NoteParkRecover records a parked request at router node recovering.
+func (n *Network) NoteParkRecover(node topology.NodeID) { n.shardOf(node).col.OnParkRecover() }
+
+// NoteRefreshSkip records a suppressed soft-state refresh at router
+// node (the m-router).
+func (n *Network) NoteRefreshSkip(node topology.NodeID) { n.shardOf(node).col.OnRefreshSkip() }
+
+// NoteRestructure records a tree restructuring computed at router node
+// (the m-router).
+func (n *Network) NoteRestructure(node topology.NodeID) { n.shardOf(node).col.OnRestructure() }

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"testing"
+
+	"scmp/internal/des"
+	"scmp/internal/packet"
+	"scmp/internal/topology"
+)
+
+// churnRec records every membership event the churn driver fires, with
+// its simulated time, through the Protocol interface.
+type churnRec struct {
+	net *Network
+	log []churnEv
+}
+
+type churnEv struct {
+	join bool
+	node topology.NodeID
+	at   des.Time
+}
+
+func (p *churnRec) Name() string                                   { return "churn-rec" }
+func (p *churnRec) Attach(n *Network)                              { p.net = n }
+func (p *churnRec) HandlePacket(node topology.NodeID, pkt *Packet) {}
+func (p *churnRec) HostJoin(node topology.NodeID, g packet.GroupID) {
+	p.log = append(p.log, churnEv{true, node, p.net.Now()})
+}
+func (p *churnRec) HostLeave(node topology.NodeID, g packet.GroupID) {
+	p.log = append(p.log, churnEv{false, node, p.net.Now()})
+}
+func (p *churnRec) SendData(src topology.NodeID, g packet.GroupID, size int, seq uint64) {}
+
+func churnMembers(n int) []topology.NodeID {
+	out := make([]topology.NodeID, n)
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+func runChurn(plan ChurnPlan) (*Churn, []churnEv) {
+	p := &churnRec{}
+	n := New(lineGraph(max(len(plan.Members), 2)), p)
+	c := n.InstallChurn(plan)
+	n.Run()
+	return c, p.log
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestChurnDeterministic: equal (plan, seed) pairs must produce the
+// byte-identical event schedule; a different seed must not.
+func TestChurnDeterministic(t *testing.T) {
+	plan := ChurnPlan{Group: 1, Members: churnMembers(10), Rate: 200, Duration: 5, Seed: 42}
+	c1, log1 := runChurn(plan)
+	c2, log2 := runChurn(plan)
+	if len(log1) == 0 {
+		t.Fatal("no churn events generated")
+	}
+	if len(log1) != len(log2) {
+		t.Fatalf("event counts differ: %d vs %d", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, log1[i], log2[i])
+		}
+	}
+	if c1.Events() != c2.Events() || c1.Joins() != c2.Joins() || c1.Rejoins() != c2.Rejoins() || c1.Leaves() != c2.Leaves() {
+		t.Fatal("event mix differs between identical plans")
+	}
+	plan.Seed = 43
+	_, log3 := runChurn(plan)
+	same := len(log3) == len(log1)
+	if same {
+		for i := range log1 {
+			if log1[i] != log3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// TestChurnRateAndMix: the generated event total tracks Rate*Duration,
+// the counts add up, and every event lands inside the churn window.
+func TestChurnRateAndMix(t *testing.T) {
+	for _, dist := range []ChurnDist{ChurnPoisson, ChurnPareto} {
+		plan := ChurnPlan{Group: 1, Members: churnMembers(20), Rate: 400, Dist: dist,
+			Start: 1, Duration: 5, Seed: 7}
+		c, log := runChurn(plan)
+		want := plan.Rate * plan.Duration
+		if got := float64(c.Events()); got < want/2 || got > want*2 {
+			t.Errorf("%v: %g events, want within 2x of %g", dist, got, want)
+		}
+		if c.Events() != c.Joins()+c.Rejoins()+c.Leaves() {
+			t.Errorf("%v: mix %d+%d+%d != %d", dist, c.Joins(), c.Rejoins(), c.Leaves(), c.Events())
+		}
+		if c.Events() != len(log) {
+			t.Errorf("%v: %d events counted, %d fired", dist, c.Events(), len(log))
+		}
+		if c.Joins() > len(plan.Members) {
+			t.Errorf("%v: %d first-time joins from %d members", dist, c.Joins(), len(plan.Members))
+		}
+		for _, ev := range log {
+			if float64(ev.at) < plan.Start || float64(ev.at) >= plan.Start+plan.Duration {
+				t.Fatalf("%v: event at %g outside churn window", dist, float64(ev.at))
+			}
+		}
+	}
+}
+
+// TestChurnMemberAlternation: per member the schedule must strictly
+// alternate join/leave starting with a join (the driver's renewal
+// process is an on/off flip, never two joins in a row).
+func TestChurnMemberAlternation(t *testing.T) {
+	plan := ChurnPlan{Group: 1, Members: churnMembers(8), Rate: 300, Duration: 4, Seed: 3}
+	_, log := runChurn(plan)
+	on := map[topology.NodeID]bool{}
+	for _, ev := range log {
+		if ev.join == on[ev.node] {
+			t.Fatalf("member %d fired %v while already in that state", ev.node, ev.join)
+		}
+		on[ev.node] = ev.join
+	}
+}
+
+// TestChurnPlanValidation: malformed plans must panic at install time.
+func TestChurnPlanValidation(t *testing.T) {
+	cases := map[string]ChurnPlan{
+		"no members":     {Rate: 10, Duration: 1},
+		"zero rate":      {Members: churnMembers(2), Duration: 1},
+		"zero duration":  {Members: churnMembers(2), Rate: 10},
+		"pareto alpha<1": {Members: churnMembers(2), Rate: 10, Duration: 1, Dist: ChurnPareto, Alpha: 0.5},
+	}
+	for name, plan := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			n := New(lineGraph(3), &churnRec{})
+			n.InstallChurn(plan)
+		}()
+	}
+}
+
+// safeProto is a minimal ParallelSafe protocol so Partition accepts the
+// network, letting the churn/partition exclusion be tested both ways.
+type safeProto struct{ churnRec }
+
+func (p *safeProto) ParallelWindowSafe() bool { return true }
+
+// TestChurnBlocksPartition: a churned network must decline the
+// partitioned drive (serial fallback), and installing churn after
+// Partition is a programming error.
+func TestChurnBlocksPartition(t *testing.T) {
+	plan := ChurnPlan{Group: 1, Members: churnMembers(4), Rate: 50, Duration: 2, Seed: 1}
+
+	n := New(lineGraph(8), &safeProto{})
+	n.InstallChurn(plan)
+	if n.Partition(2, 1) {
+		t.Fatal("Partition accepted a churned network")
+	}
+	if n.Partitions() != 1 {
+		t.Fatalf("Partitions() = %d after declined partition", n.Partitions())
+	}
+
+	n2 := New(lineGraph(8), &safeProto{})
+	if !n2.Partition(2, 1) {
+		t.Fatal("Partition declined a partitionable baseline network")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InstallChurn after Partition did not panic")
+		}
+	}()
+	n2.InstallChurn(plan)
+}
+
+// TestChurnComposesWithFaults: churn and a fault plan run together on
+// one network — membership pressure under control loss.
+func TestChurnComposesWithFaults(t *testing.T) {
+	p := &churnRec{}
+	n := New(lineGraph(10), p)
+	c := n.InstallChurn(ChurnPlan{Group: 1, Members: churnMembers(10), Rate: 200, Duration: 3, Seed: 5})
+	n.InstallFaults(FaultPlan{ControlLoss: 0.3, LossUntil: 3, Seed: 9})
+	n.Run()
+	if c.Events() == 0 || len(p.log) != c.Events() {
+		t.Fatalf("churn under faults fired %d/%d events", len(p.log), c.Events())
+	}
+}

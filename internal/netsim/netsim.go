@@ -175,6 +175,7 @@ type Network struct {
 	busyUntil map[dirLink]des.Time
 
 	faults *Faults
+	churn  []*Churn
 }
 
 // shard is the per-partition execution state: the partition's
@@ -294,6 +295,12 @@ func (n *Network) Partition(k int, seed int64) bool {
 	}
 	if n.faults != nil {
 		panic("netsim: Partition must run before InstallFaults")
+	}
+	if len(n.churn) > 0 {
+		// Churn floods the global scheduler with barrier events that
+		// mutate shared membership state mid-run; the windowed drive
+		// would serialise on them anyway, so fall back to serial.
+		return false
 	}
 	ps, ok := n.Proto.(ParallelSafe)
 	if !ok || !ps.ParallelWindowSafe() {

@@ -135,6 +135,26 @@ func FuzzDecodeAck(f *testing.F) {
 	})
 }
 
+// FuzzDecodeNack checks the NACK decoder likewise.
+func FuzzDecodeNack(f *testing.F) {
+	full := EncodeNack(NackInfo{Req: Join, Seq: 0xCAFE, RetryAfter: 0.25})
+	f.Add(full)
+	for i := 1; i < len(full); i++ {
+		f.Add(full[:i])
+	}
+	f.Add(append(full, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeNack(data)
+		if err != nil {
+			return
+		}
+		re := EncodeNack(n)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
 // FuzzDecodeRejoin checks the REJOIN decoder likewise.
 func FuzzDecodeRejoin(f *testing.F) {
 	full := EncodeRejoin(RejoinInfo{Detached: 7, Dead: 3})

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"scmp/internal/topology"
@@ -59,12 +60,16 @@ const (
 	CbtJoin
 	CbtJoinAck
 	CbtQuit
+
+	// SCMP overload protection (churn model): the m-router refuses an
+	// admission-controlled JOIN and tells the requester when to retry.
+	Nack
 )
 
 // NumKinds is the number of defined packet kinds. Kind values are dense
 // from 0, so hot-path per-kind counters can live in fixed-size arrays
 // indexed by Kind instead of maps (internal/metrics).
-const NumKinds = int(CbtQuit) + 1
+const NumKinds = int(Nack) + 1
 
 var kindNames = map[Kind]string{
 	Data: "DATA", EncapData: "ENCAP-DATA",
@@ -74,6 +79,7 @@ var kindNames = map[Kind]string{
 	DvmrpPrune: "DVMRP-PRUNE", DvmrpGraft: "DVMRP-GRAFT",
 	GroupLSA: "GROUP-LSA",
 	CbtJoin:  "CBT-JOIN", CbtJoinAck: "CBT-JOIN-ACK", CbtQuit: "CBT-QUIT",
+	Nack: "NACK",
 }
 
 func (k Kind) String() string {
@@ -431,5 +437,49 @@ func DecodeRejoin(b []byte) (RejoinInfo, error) {
 	return RejoinInfo{
 		Detached: topology.NodeID(binary.BigEndian.Uint32(b)),
 		Dead:     topology.NodeID(binary.BigEndian.Uint32(b[4:])),
+	}, nil
+}
+
+// --- NACK packet encoding (overload model) -----------------------------
+//
+// A NACK is the m-router's admission-control refusal of one reliable
+// control request: it echoes the request's kind and sequence number
+// (like an ACK) and adds a retry-after hint — the seconds the requester
+// should wait before retransmitting, derived from the m-router's
+// current service backlog: req_kind (uint32) | req_seq (uint64) |
+// retry_after (float64 bits as uint64), all big-endian.
+
+// NackInfo is the decoded form of a NACK payload.
+type NackInfo struct {
+	Req        Kind    // the refused request kind (Join, Rejoin)
+	Seq        uint64  // the request's sequence number, echoed verbatim
+	RetryAfter float64 // seconds to wait before retransmitting
+}
+
+// EncodeNack renders a NACK payload.
+func EncodeNack(n NackInfo) []byte {
+	return AppendNack(make([]byte, 0, 20), n)
+}
+
+// AppendNack appends the NACK encoding of n to buf.
+func AppendNack(buf []byte, n NackInfo) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n.Req))
+	buf = binary.BigEndian.AppendUint64(buf, n.Seq)
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(n.RetryAfter))
+}
+
+// DecodeNack parses a NACK payload, rejecting truncation and trailing
+// garbage.
+func DecodeNack(b []byte) (NackInfo, error) {
+	if len(b) < 20 {
+		return NackInfo{}, ErrTruncated
+	}
+	if len(b) != 20 {
+		return NackInfo{}, fmt.Errorf("packet: %d trailing bytes after NACK payload", len(b)-20)
+	}
+	return NackInfo{
+		Req:        Kind(binary.BigEndian.Uint32(b)),
+		Seq:        binary.BigEndian.Uint64(b[4:]),
+		RetryAfter: math.Float64frombits(binary.BigEndian.Uint64(b[12:])),
 	}, nil
 }

@@ -24,7 +24,7 @@ func TestClassOf(t *testing.T) {
 	if ClassOf(Data) != ClassData || ClassOf(EncapData) != ClassData {
 		t.Fatal("data kinds misclassified")
 	}
-	for _, k := range []Kind{Join, Leave, Tree, Branch, Prune, Flush, Replicate, Ack, Rejoin, DvmrpPrune, DvmrpGraft, GroupLSA, CbtJoin, CbtJoinAck, CbtQuit} {
+	for _, k := range []Kind{Join, Leave, Tree, Branch, Prune, Flush, Replicate, Ack, Rejoin, DvmrpPrune, DvmrpGraft, GroupLSA, CbtJoin, CbtJoinAck, CbtQuit, Nack} {
 		if ClassOf(k) != ClassProtocol {
 			t.Fatalf("%v misclassified as data", k)
 		}
@@ -50,6 +50,32 @@ func TestAckErrors(t *testing.T) {
 		}
 	}
 	if _, err := DecodeAck(append(full, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestNackRoundTrip(t *testing.T) {
+	in := NackInfo{Req: Join, Seq: 1<<33 | 5, RetryAfter: 0.125}
+	out, err := DecodeNack(EncodeNack(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestNackErrors(t *testing.T) {
+	full := EncodeNack(NackInfo{Req: Join, Seq: 3, RetryAfter: 1})
+	if len(full) != 20 {
+		t.Fatalf("NACK payload = %d bytes, want 20", len(full))
+	}
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeNack(full[:i]); err == nil {
+			t.Errorf("truncated NACK of %d bytes accepted", i)
+		}
+	}
+	if _, err := DecodeNack(append(full, 0)); err == nil {
 		t.Error("trailing garbage accepted")
 	}
 }

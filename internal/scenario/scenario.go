@@ -32,6 +32,16 @@
 // accepts ack=T (reliable JOIN/LEAVE ACK timeout), retries=N and
 // refresh=T (soft-state tree refresh interval); `run` quiesces those
 // periodic timers after its deadline so the clock drains.
+//
+// Generated membership churn: `churn <group> <rate> <dist> <duration>
+// members=a,b,c` (after `protocol`) installs a seeded flap schedule —
+// <dist> is poisson or pareto (heavy-tailed; alpha=A, default 1.5) —
+// with optional start=T and seed=S; `print churn` reports the
+// generated event mix. The scmp overload defences pair with it:
+// service=T procs=N model the m-router's compute, admit=N sheds JOINs
+// beyond a pending-queue limit with NACK/retry-after, retry-budget=N
+// parks a request after N failed attempts (re-attempted on a deferred
+// timer), and suppress=true skips refresh ticks for unchanged trees.
 package scenario
 
 import (
@@ -106,7 +116,7 @@ func Parse(r io.Reader) (*Script, error) {
 			}
 		}
 		switch cmd.verb {
-		case "topology", "scale-delays", "bandwidth", "protocol", "faults", "at", "run", "expect", "print":
+		case "topology", "scale-delays", "bandwidth", "protocol", "faults", "churn", "at", "run", "expect", "print":
 		default:
 			return nil, fmt.Errorf("line %d: unknown command %q", lineNo, cmd.verb)
 		}
@@ -158,6 +168,7 @@ type state struct {
 	net       *netsim.Network
 	scmp      *core.SCMP     // non-nil when the protocol is SCMP
 	faults    *netsim.Faults // non-nil once a fault plan is installed
+	churns    []*netsim.Churn
 	sent      []uint64
 	w         io.Writer
 }
@@ -207,6 +218,8 @@ func (st *state) exec(c command) error {
 		return st.execProtocol(c)
 	case "faults":
 		return st.execFaults(c)
+	case "churn":
+		return st.execChurn(c)
 	case "at":
 		return st.execAt(c)
 	case "run":
@@ -331,6 +344,29 @@ func (st *state) execProtocol(c command) error {
 		if err != nil {
 			return err
 		}
+		service, err := c.float("service", 0)
+		if err != nil {
+			return err
+		}
+		procs, err := c.int("procs", 0)
+		if err != nil {
+			return err
+		}
+		admit, err := c.int("admit", 0)
+		if err != nil {
+			return err
+		}
+		retryBudget, err := c.int("retry-budget", 0)
+		if err != nil {
+			return err
+		}
+		suppress := false
+		if v, ok := c.kv["suppress"]; ok {
+			suppress, err = strconv.ParseBool(v)
+			if err != nil {
+				return fmt.Errorf("line %d: bad suppress=%q", c.line, v)
+			}
+		}
 		s := core.New(core.Config{
 			MRouter:         topology.NodeID(mrouter),
 			Kappa:           kappa,
@@ -339,6 +375,11 @@ func (st *state) execProtocol(c command) error {
 			AckTimeout:      ack,
 			RetryCap:        retries,
 			RefreshInterval: refresh,
+			ServiceTime:     service,
+			Processors:      procs,
+			AdmitLimit:      admit,
+			RetryBudget:     retryBudget,
+			RefreshSuppress: suppress,
 		})
 		st.scmp = s
 		proto = s
@@ -399,6 +440,74 @@ func (st *state) execFaults(c command) error {
 		LossUntil:   des.Time(until),
 		Seed:        int64(seed),
 	})
+	return nil
+}
+
+// execChurn installs a generated membership flap schedule:
+// `churn <group> <rate> <dist> <duration> members=a,b,c` with optional
+// start=T, seed=S and (for pareto) alpha=A.
+func (st *state) execChurn(c command) error {
+	if st.net == nil {
+		return fmt.Errorf("line %d: churn before protocol", c.line)
+	}
+	if len(c.args) != 4 {
+		return fmt.Errorf("line %d: churn needs <group> <rate> <dist> <duration>", c.line)
+	}
+	grp, err := strconv.Atoi(c.args[0])
+	if err != nil || grp < 1 {
+		return fmt.Errorf("line %d: bad group %q", c.line, c.args[0])
+	}
+	rate, err := strconv.ParseFloat(c.args[1], 64)
+	if err != nil || rate <= 0 {
+		return fmt.Errorf("line %d: bad rate %q", c.line, c.args[1])
+	}
+	var dist netsim.ChurnDist
+	switch c.args[2] {
+	case "poisson":
+		dist = netsim.ChurnPoisson
+	case "pareto":
+		dist = netsim.ChurnPareto
+	default:
+		return fmt.Errorf("line %d: unknown churn distribution %q (want poisson or pareto)", c.line, c.args[2])
+	}
+	duration, err := strconv.ParseFloat(c.args[3], 64)
+	if err != nil || duration <= 0 {
+		return fmt.Errorf("line %d: bad duration %q", c.line, c.args[3])
+	}
+	mv, ok := c.kv["members"]
+	if !ok {
+		return fmt.Errorf("line %d: churn needs members=a,b,...", c.line)
+	}
+	var members []topology.NodeID
+	for _, f := range strings.Split(mv, ",") {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 || n >= st.net.G.N() {
+			return fmt.Errorf("line %d: bad churn member %q", c.line, f)
+		}
+		members = append(members, topology.NodeID(n))
+	}
+	start, err := c.float("start", 0)
+	if err != nil {
+		return err
+	}
+	alpha, err := c.float("alpha", 0)
+	if err != nil {
+		return err
+	}
+	seed, err := c.int("seed", 1)
+	if err != nil {
+		return err
+	}
+	st.churns = append(st.churns, st.net.InstallChurn(netsim.ChurnPlan{
+		Group:    packet.GroupID(grp),
+		Members:  members,
+		Rate:     rate,
+		Dist:     dist,
+		Alpha:    alpha,
+		Start:    start,
+		Duration: duration,
+		Seed:     int64(seed),
+	}))
 	return nil
 }
 
@@ -541,6 +650,16 @@ func (st *state) execPrint(c command) error {
 			if p, ok := tr.Parent(v); ok {
 				fmt.Fprintf(st.w, "  %d -> %d\n", v, p)
 			}
+		}
+	case "churn":
+		if len(st.churns) == 0 {
+			fmt.Fprintf(st.w, "no churn installed\n")
+			return nil
+		}
+		for _, ch := range st.churns {
+			p := ch.Plan()
+			fmt.Fprintf(st.w, "churn group %d: dist=%s rate=%.0f events=%d joins=%d rejoins=%d leaves=%d\n",
+				p.Group, p.Dist, p.Rate, ch.Events(), ch.Joins(), ch.Rejoins(), ch.Leaves())
 		}
 	default:
 		return fmt.Errorf("line %d: unknown print subject %q", c.line, c.args[0])
