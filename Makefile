@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick bench-partitions bench-churn smoke-parallel smoke-faults smoke-partitions smoke-churn fmt
+.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick bench-partitions bench-churn bench-dcdm bench-dcdm-quick smoke-parallel smoke-faults smoke-partitions smoke-churn smoke-dcdm fmt
 
 all: lint test
 
@@ -89,6 +89,28 @@ CHURN_BENCHTIME ?= 3x
 bench-churn:
 	$(GO) test -bench 'BenchmarkChurn$$' -benchtime $(CHURN_BENCHTIME) -benchmem -run '^$$' . | tee BENCH_churn.txt
 	$(GO) run ./cmd/benchjson BENCH_churn.txt > BENCH_churn.json
+
+# Incremental-DCDM perf gate: steady-state joins, batched leaves and a
+# whole churn lifecycle against the preserved map-backed reference
+# engine (internal/mtree/ref.go) on the 400-node/128-member fixture.
+# The acceptance record is BENCH_dcdm.txt/.json: >=5x ns/op fast vs ref
+# on BenchmarkDCDMJoin and <=1 alloc/op steady state.
+DCDM_BENCHTIME ?= 3s
+bench-dcdm:
+	$(GO) test -bench 'DCDM(Join|Leave|Churn)' -benchtime $(DCDM_BENCHTIME) -benchmem -run '^$$' ./internal/mtree/ | tee BENCH_dcdm.txt
+	$(GO) run ./cmd/benchjson < BENCH_dcdm.txt > BENCH_dcdm.json
+
+# Quick CI pass of the same benchmarks (no artefact files).
+bench-dcdm-quick:
+	$(GO) test -bench 'DCDM(Join|Leave|Churn)' -benchtime 1s -benchmem -run '^$$' ./internal/mtree/
+
+# Incremental-DCDM differential gate: the fast-vs-ref equivalence churn
+# (exact tree/result/bound equality) plus the engine unit tests, under
+# the race detector with the invariant hooks armed — every mutation
+# re-validates the dense tree and cross-checks the incremental bound
+# against a member rescan.
+smoke-dcdm:
+	$(GO) test -race -tags invariants -count=1 -run 'TestDCDMFastMatchesRef|TestDCDMLeave|TestMaxMultiset|TestTreeSharedViews' ./internal/mtree/
 
 # End-to-end smoke of the parallel runner under the race detector: a
 # quick Fig. 7 sweep fanned over 4 workers.

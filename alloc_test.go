@@ -12,6 +12,7 @@ import (
 
 	"scmp/internal/core"
 	"scmp/internal/des"
+	"scmp/internal/mtree"
 	"scmp/internal/netsim"
 	"scmp/internal/packet"
 	"scmp/internal/topology"
@@ -62,6 +63,65 @@ func TestHotPathAllocFloor(t *testing.T) {
 	if avg > budget {
 		t.Errorf("data plane allocates %.2f allocs per packet fan-out, budget %.0f; "+
 			"run `go run ./cmd/scmplint -only hotalloc ./...` to locate the new allocation site",
+			avg, budget)
+	}
+}
+
+// TestDCDMAllocFloor pins the incremental DCDM engine's steady-state
+// bill: one Join plus one Leave of the same router, on a 400-node tree
+// with 128 resident members, must average at most one allocation per
+// operation — the grafted path slice the Join hands to its caller.
+// Everything else (prune walks, candidate ordering, the bound multiset)
+// runs on reused scratch.
+func TestDCDMAllocFloor(t *testing.T) {
+	if mtree.InvariantChecksArmed {
+		t.Skip("invariants build: per-mutation Validate allocates freely")
+	}
+	wg, err := topology.Waxman(topology.DefaultWaxman(400), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := wg.Graph
+	rnd := rand.New(rand.NewSource(7))
+	d := mtree.NewDCDM(g, 0, 1.5, nil, nil)
+	joined := 0
+	for _, v := range rnd.Perm(g.N()) {
+		if v == 0 {
+			continue
+		}
+		d.Join(topology.NodeID(v))
+		if joined++; joined == 128 {
+			break
+		}
+	}
+	var pool []topology.NodeID
+	for v := topology.NodeID(1); int(v) < g.N() && len(pool) < 16; v++ {
+		if !d.Tree().OnTree(v) {
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		t.Fatal("fixture degenerate: tree covers the whole graph")
+	}
+	// Warm scratch (candidate ordering buffers, prune stacks, heap
+	// capacity) so the measured runs see steady state.
+	for i := 0; i < 32; i++ {
+		v := pool[i%len(pool)]
+		d.Join(v)
+		d.Leave(v)
+	}
+
+	const budget = 2.0 // per Join+Leave pair: the join's path slice, nothing else
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		v := pool[i%len(pool)]
+		i++
+		d.Join(v)
+		d.Leave(v)
+	})
+	if avg > budget {
+		t.Errorf("steady-state DCDM Join+Leave allocates %.2f per pair, budget %.0f (<=1 per op); "+
+			"run `go run ./cmd/scmplint -only hotalloc ./internal/mtree/` to locate the new allocation site",
 			avg, budget)
 	}
 }

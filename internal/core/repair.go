@@ -197,7 +197,7 @@ func (s *SCMP) armRefresh(g packet.GroupID, gs *groupState) {
 // membership change re-arms it — so Network.Run can drain.
 func (s *SCMP) refreshGroup(g packet.GroupID, gs *groupState) {
 	tree := gs.dcdm.Tree()
-	if len(tree.Members()) == 0 && tree.Size() == 1 && len(gs.deferred) == 0 {
+	if tree.MemberCount() == 0 && tree.Size() == 1 && len(gs.deferred) == 0 {
 		return
 	}
 	if s.cfg.RefreshSuppress && len(gs.deferred) == 0 &&

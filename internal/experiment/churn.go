@@ -193,7 +193,7 @@ func runChurnRun(art *fig89Artifact, cfg ChurnConfig,
 	for i := 1; float64(i)*0.5 <= cfg.Duration; i++ {
 		n.Sched.At(des.Time(float64(i)*0.5), func() {
 			tr := s.GroupTree(churnGroup)
-			if tr == nil || len(tr.Members()) == 0 {
+			if tr == nil || tr.MemberCount() == 0 {
 				return
 			}
 			if base := rebuildCost(art, spD, spC, tr.Members()); base > 0 {

@@ -23,6 +23,14 @@ import (
 //   - If the grafted path re-enters the tree, the loop is broken by
 //     pruning the re-entered node's old upstream branch (Fig. 5(c,d)).
 //   - On leave, the branch serving only the leaving member is pruned.
+//
+// This is the incremental engine: the longest member unicast delay is a
+// lazy-deletion max-multiset updated in O(log m) instead of an O(m)
+// rescan per leave, and the graft scan reads the tree's cached ml(v)
+// (two array loads per candidate) over candidates ordered by that cache
+// so the bound-infeasible tail is never touched (see bestGraftPath).
+// The historical scanning implementation survives as dcdmRef (ref.go)
+// behind the differential gate in equiv_test.go.
 type DCDM struct {
 	g       *topology.Graph
 	root    topology.NodeID
@@ -31,7 +39,9 @@ type DCDM struct {
 	tree    *Tree
 	spDelay *topology.AllPairs // P_sl tables, one per source
 	spCost  *topology.AllPairs // P_lc tables, one per source
-	maxUL   float64            // longest unicast delay among current members
+	ul      maxMultiset        // member unicast delays; Max() drives the relative bound
+
+	cands []topology.NodeID // graft-scan scratch: on-tree candidates by (ml, id)
 }
 
 // JoinResult describes how a join changed the tree, which is what SCMP
@@ -103,6 +113,8 @@ func (d *DCDM) Tree() *Tree { return d.tree }
 // Bound returns the current delay bound l: the absolute QoS budget when
 // one is set, otherwise Kappa x the longest member unicast delay. With
 // no members, no budget and finite Kappa the bound is 0.
+//
+//scmplint:hotpath
 func (d *DCDM) Bound() float64 {
 	if d.absMax > 0 {
 		return d.absMax
@@ -110,25 +122,31 @@ func (d *DCDM) Bound() float64 {
 	if math.IsInf(d.kappa, 1) {
 		return math.Inf(1)
 	}
-	return d.kappa * d.maxUL
+	return d.kappa * d.ul.Max()
 }
 
 // UnicastDelay returns ul(v): the shortest-path delay between v and the
 // m-router.
+//
+//scmplint:hotpath
 func (d *DCDM) UnicastDelay(v topology.NodeID) float64 {
-	return d.spDelay.Row(d.root).Delay[v]
+	return d.spDelay.Row(d.root).Delay[v] //scmplint:ignore hotalloc — Row only allocates on a lazy table's first access; steady state is a pointer load
 }
 
-// Join adds member router s to the group and updates the tree.
+// Join adds member router s to the group and updates the tree. Steady
+// state it performs exactly one allocation: the grafted path slice the
+// caller owns through JoinResult.
+//
+//scmplint:hotpath
 func (d *DCDM) Join(s topology.NodeID) JoinResult {
 	res := JoinResult{Member: s}
 	ul := d.UnicastDelay(s)
 	if d.tree.OnTree(s) {
 		// Already a relay (or the root itself): just mark membership.
 		res.AlreadyOn = true
-		d.tree.SetMember(s, true)
-		if ul > d.maxUL {
-			d.maxUL = ul
+		if !d.tree.IsMember(s) {
+			d.tree.SetMember(s, true)
+			d.ul.Add(ul)
 		}
 		return res
 	}
@@ -139,7 +157,7 @@ func (d *DCDM) Join(s topology.NodeID) JoinResult {
 		// shortest-delay path — no tree can serve it faster. Under the
 		// relative bound this also raises the bound; under an absolute
 		// QoS budget the member is flagged best-effort.
-		path = d.spDelay.Row(d.root).To(s)
+		path = d.spDelay.Row(d.root).To(s) //scmplint:ignore hotalloc — the one budgeted alloc: the path handed to the caller
 		res.BestEffort = d.absMax > 0
 	} else {
 		path = d.bestGraftPath(s, bound)
@@ -150,89 +168,223 @@ func (d *DCDM) Join(s topology.NodeID) JoinResult {
 	res.Path = path
 	res.Pruned, res.Restructured = d.tree.Graft(path)
 	d.tree.SetMember(s, true)
-	if ul > d.maxUL {
-		d.maxUL = ul
-	}
-	treeCheckHook(d.tree)
+	d.ul.Add(ul) // s was off tree, so it cannot already be a member
+	dcdmCheckHook(d)
 	return res
 }
 
-// bestGraftPath scans the 2m candidate paths (P_lc and P_sl from s to
-// every on-tree router) and returns the least-cost one whose resulting
+// bestGraftPath returns the least-cost candidate among the 2m paths
+// (P_lc and P_sl from s to every on-tree router) whose resulting
 // multicast delay respects the bound, oriented graft-node-first. The
 // shortest-delay path to the root is always feasible, so a path always
 // exists on a connected graph.
+//
+// Selection is the minimum under the strict total order (cost, ml,
+// node id, cost-row-before-delay-row); the historical scan realised
+// that order by considering candidates node-by-node with a keep-first
+// tie rule, and this scan realises the same order differently, so both
+// pick the identical candidate (DESIGN.md §14):
+//
+//   - candidates are walked in ascending cached-ml order, so once a
+//     candidate's tree delay alone exceeds the bound the whole
+//     remaining tail is infeasible (path delays are non-negative) and
+//     the scan stops without touching those rows;
+//   - the P_lc row is scanned to completion first, then the P_sl row
+//     is skipped wholesale when even its cheapest entry (the lazily
+//     cached row minimum) costs strictly more than the best found —
+//     on a cost tie it must still be scanned, because the ladder can
+//     prefer it on ml or id.
+//
+// Candidate evaluation is two array reads (cached ml + row entry); the
+// ordering scratch is caller-owned and reused across joins.
+//
+//scmplint:hotpath
 func (d *DCDM) bestGraftPath(s topology.NodeID, bound float64) []topology.NodeID {
-	type cand struct {
-		cost, ml float64
-		node     topology.NodeID
-		sp       *topology.Paths
+	rowCost := d.spCost.Row(s)   //scmplint:ignore hotalloc — Row only allocates on a lazy table's first access; steady state is a pointer load
+	rowDelay := d.spDelay.Row(s) //scmplint:ignore hotalloc — Row only allocates on a lazy table's first access; steady state is a pointer load
+	cands := d.tree.Nodes()
+	sorted := false
+	if !math.IsInf(bound, 1) {
+		// Order candidates by (cached ml, id) so the bound-infeasible
+		// tail is skipped; with no bound in force the order is
+		// irrelevant and the copy + sort is skipped too.
+		d.cands = append(d.cands[:0], cands...) //scmplint:ignore hotalloc — reused scratch; capacity is retained across joins
+		d.sortCands(d.cands)
+		cands = d.cands
+		sorted = true
 	}
-	var best *cand
-	consider := func(v topology.NodeID, sp *topology.Paths) {
-		if !sp.Reachable(v) {
-			return
-		}
-		ml := d.tree.Delay(v) + sp.Delay[v]
-		if ml > bound {
-			return
-		}
-		c := cand{cost: sp.Cost[v], ml: ml, node: v, sp: sp}
-		// Strict </> ladder: cost, then multicast delay, then node id.
-		// Exact float equality as a tie-break would make the choice
-		// depend on summation order.
-		better := best == nil
-		if !better {
-			switch {
-			case c.cost < best.cost:
-				better = true
-			case best.cost < c.cost:
-			case c.ml < best.ml:
-				better = true
-			case best.ml < c.ml:
-			default:
-				better = c.node < best.node
+	var best graftCand
+	for _, v := range cands { // P_lc(s, v)
+		tml := d.tree.ml[v]
+		if tml > bound {
+			if sorted {
+				break
 			}
+			continue
 		}
-		if better {
-			best = &c
+		best.consider(v, rowCost, tml, bound)
+	}
+	// P_sl(s, v): skippable when even the row's cheapest path is
+	// strictly costlier than the best P_lc candidate.
+	if !best.have || !(rowDelay.MinCost() > best.cost) {
+		for _, v := range cands {
+			tml := d.tree.ml[v]
+			if tml > bound {
+				if sorted {
+					break
+				}
+				continue
+			}
+			best.consider(v, rowDelay, tml, bound)
 		}
 	}
-	for _, v := range d.tree.Nodes() {
-		consider(v, d.spCost.Row(s))  // P_lc(s, v)
-		consider(v, d.spDelay.Row(s)) // P_sl(s, v)
-	}
-	if best == nil {
+	if !best.have {
 		// Guaranteed fallback: shortest-delay path to the root
 		// (ml = ul(s) <= bound whenever this branch is reached).
-		sp := d.spDelay.Row(d.root)
-		return sp.To(s)
+		sp := d.spDelay.Row(d.root) //scmplint:ignore hotalloc — Row only allocates on a lazy table's first access
+		return sp.To(s)             //scmplint:ignore hotalloc — the one budgeted alloc: the path handed to the caller
 	}
 	// best.sp paths run s -> v; reverse to graft-node-first order.
-	path := best.sp.To(best.node)
+	path := best.sp.To(best.node) //scmplint:ignore hotalloc — the one budgeted alloc: the path handed to the caller
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
 	}
 	return path
 }
 
+// graftCand accumulates the best graft candidate seen so far under the
+// strict (cost, ml, id) ladder. It is a plain value on bestGraftPath's
+// stack — a closure here would heap-allocate its capture block on every
+// join.
+type graftCand struct {
+	have     bool
+	cost, ml float64
+	node     topology.NodeID
+	sp       *topology.Paths
+}
+
+// consider folds candidate v (reached via sp's path from the joining
+// router) into the running best.
+//
+//scmplint:hotpath
+func (b *graftCand) consider(v topology.NodeID, sp *topology.Paths, tml, bound float64) {
+	if !sp.Reachable(v) {
+		return
+	}
+	ml := tml + sp.Delay[v]
+	if ml > bound {
+		return
+	}
+	cost := sp.Cost[v]
+	// Strict </> ladder: cost, then multicast delay, then node id.
+	// Exact float equality as a tie-break would make the choice
+	// depend on summation order.
+	better := !b.have
+	if !better {
+		switch {
+		case cost < b.cost:
+			better = true
+		case b.cost < cost:
+		case ml < b.ml:
+			better = true
+		case b.ml < ml:
+		default:
+			better = v < b.node
+		}
+	}
+	if better {
+		b.have = true
+		b.cost, b.ml, b.node, b.sp = cost, ml, v, sp
+	}
+}
+
+// sortCands heapsorts the candidate scratch ascending by (cached ml,
+// node id) — a strict total order, so the result is deterministic. The
+// sort is hand-rolled to stay allocation-free on the join hot path
+// (sort.Slice boxes its comparator).
+func (d *DCDM) sortCands(c []topology.NodeID) {
+	n := len(c)
+	for i := n/2 - 1; i >= 0; i-- {
+		d.siftCand(c, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		c[0], c[i] = c[i], c[0]
+		d.siftCand(c, 0, i)
+	}
+}
+
+// candLess orders candidates ascending by (cached ml, id).
+func (d *DCDM) candLess(a, b topology.NodeID) bool {
+	ma, mb := d.tree.ml[a], d.tree.ml[b]
+	if ma != mb { //scmplint:ignore floatcmp — ordering key only: equal-bits ties fall through to the id tie-break, and candidate order never changes which candidate the (cost, ml, id) ladder selects (DESIGN.md §14)
+		return ma < mb
+	}
+	return a < b
+}
+
+func (d *DCDM) siftCand(c []topology.NodeID, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && d.candLess(c[l], c[r]) {
+			big = r
+		}
+		if !d.candLess(c[i], c[big]) {
+			return
+		}
+		c[i], c[big] = c[big], c[i]
+		i = big
+	}
+}
+
 // Leave removes member router s from the group, pruning the branch that
 // served only s (§III-D: prune upstream until a member or a fork).
+// Steady state it allocates nothing: the prune walk reuses tree-owned
+// scratch, and the bound update is an O(1) lazy-deletion note unless
+// the departing member's unicast delay IS the current maximum (only
+// then does the multiset pop, in O(log m)).
+//
+//scmplint:hotpath
 func (d *DCDM) Leave(s topology.NodeID) LeaveResult {
+	if d.tree.IsMember(s) {
+		d.ul.Remove(d.UnicastDelay(s))
+	}
 	res := LeaveResult{Member: s, Pruned: d.tree.Leave(s)}
-	d.recomputeMaxUL()
-	treeCheckHook(d.tree)
+	dcdmCheckHook(d)
 	return res
+}
+
+// LeaveBatch removes several member routers in one shared prune pass
+// (see Tree.LeaveBatch): membership bits clear first, then each
+// departure point prunes against the final member set. Equivalent to
+// one Leave per member up to the order of the returned pruned slice,
+// which is tree-owned scratch valid until the next mutation.
+func (d *DCDM) LeaveBatch(members []topology.NodeID) []topology.NodeID {
+	for _, s := range members {
+		if d.tree.IsMember(s) {
+			d.ul.Remove(d.UnicastDelay(s))
+		}
+	}
+	pruned := d.tree.LeaveBatch(members)
+	dcdmCheckHook(d)
+	return pruned
 }
 
 // DetachSubtree removes the subtree rooted at v (whose upstream tree
 // link died) from the m-router's tree copy, returning the stranded
 // member routers in ascending order so the caller can re-graft them
-// with fresh Join calls.
+// with fresh Join calls. Each stranded member's unicast delay leaves
+// the bound multiset individually — O(k log m) for k orphans, not an
+// O(m) rescan.
 func (d *DCDM) DetachSubtree(v topology.NodeID) []topology.NodeID {
 	orphans := d.tree.DetachSubtree(v)
-	d.recomputeMaxUL()
-	treeCheckHook(d.tree)
+	for _, m := range orphans {
+		d.ul.Remove(d.UnicastDelay(m))
+	}
+	dcdmCheckHook(d)
 	return orphans
 }
 
@@ -240,25 +392,33 @@ func (d *DCDM) DetachSubtree(v topology.NodeID) []topology.NodeID {
 // topology fault the old tables route through dead links, so local
 // repair recomputes them with the faulted links masked (see
 // topology.NewAllPairsAvoid) before re-grafting. The member delay bound
-// is recomputed against the new tables; members currently unreachable
-// contribute an infinite unicast delay, which relaxes the relative
-// bound to +Inf for the duration of the partition (repair is
+// is rebuilt against the new tables (every member's unicast delay
+// changed, so this is the one remaining full rescan); members currently
+// unreachable contribute an infinite unicast delay, which relaxes the
+// relative bound to +Inf for the duration of the partition (repair is
 // best-effort: connectivity first, delay discipline after the heal).
 func (d *DCDM) SetAllPairs(spDelay, spCost *topology.AllPairs) {
 	d.spDelay = spDelay
 	d.spCost = spCost
-	d.recomputeMaxUL()
+	d.ul.Reset()
+	for _, m := range d.tree.Members() {
+		d.ul.Add(d.UnicastDelay(m))
+	}
+	dcdmCheckHook(d)
 }
 
-// recomputeMaxUL rebuilds the longest-member-unicast-delay bound input
-// from the current member set.
-func (d *DCDM) recomputeMaxUL() {
-	d.maxUL = 0
+// recomputeMaxUL rescans the member set for the longest unicast delay —
+// the historical O(m) bound computation, retained only as the
+// invariants-build cross-check against the incremental multiset (see
+// dcdmCheckHook in hooks_on.go).
+func (d *DCDM) recomputeMaxUL() float64 {
+	max := 0.0
 	for _, m := range d.tree.Members() {
-		if ul := d.UnicastDelay(m); ul > d.maxUL {
-			d.maxUL = ul
+		if ul := d.UnicastDelay(m); ul > max {
+			max = ul
 		}
 	}
+	return max
 }
 
 // Graft splices path (which starts at an on-tree router and ends at the
@@ -267,6 +427,8 @@ func (d *DCDM) recomputeMaxUL() {
 // new upstream and x's old upstream branch is pruned back to a member or
 // fork. It returns the routers pruned while breaking loops and whether
 // any restructuring happened.
+//
+//scmplint:hotpath
 func (t *Tree) Graft(path []topology.NodeID) (pruned []topology.NodeID, restructured bool) {
 	if len(path) == 0 || !t.OnTree(path[0]) {
 		panic("mtree: Graft path must start on the tree")
@@ -274,45 +436,46 @@ func (t *Tree) Graft(path []topology.NodeID) (pruned []topology.NodeID, restruct
 	var orphans []topology.NodeID
 	prev := path[0]
 	for _, x := range path[1:] {
-		switch {
-		case !t.OnTree(x):
+		if !t.OnTree(x) {
 			t.attach(x, prev)
-		case x == t.root, t.isAncestor(x, prev):
+		} else if x == t.root || t.isAncestor(x, prev) {
 			// Re-parenting x under prev would orphan the root or create
 			// a cycle (prev lives in x's subtree). Abandon the chain
 			// built so far — it dangles and is pruned below — and
 			// continue along the tree from x.
-			if p, ok := t.Parent(x); !ok || p != prev {
-				orphans = append(orphans, prev)
+			if t.parent[x] != prev {
+				orphans = append(orphans, prev) //scmplint:ignore hotalloc — restructuring path only; clean steady-state grafts never reach it
 				restructured = true
 			}
-		case func() bool { p, ok := t.Parent(x); return ok && p == prev }():
+		} else if t.parent[x] == prev {
 			// The path follows an existing tree edge; nothing to do.
-		default:
+		} else {
 			// Loop detected at x: adopt the new upstream, prune the old
 			// branch upstream until a member or a fork survives.
 			oldParent := t.parent[x]
 			t.reparent(x, prev)
-			pruned = append(pruned, t.PruneFrom(oldParent)...)
+			pruned = append(pruned, t.PruneFrom(oldParent)...) //scmplint:ignore hotalloc — restructuring path only; clean steady-state grafts never reach it
 			restructured = true
 		}
 		prev = x
 	}
 	for _, o := range orphans {
-		pruned = append(pruned, t.PruneFrom(o)...)
+		pruned = append(pruned, t.PruneFrom(o)...) //scmplint:ignore hotalloc — restructuring path only
 	}
 	return pruned, restructured
 }
 
 // isAncestor reports whether a lies on v's path to the root (a == v
 // counts as true).
+//
+//scmplint:hotpath
 func (t *Tree) isAncestor(a, v topology.NodeID) bool {
 	for {
 		if v == a {
 			return true
 		}
-		p, ok := t.parent[v]
-		if !ok {
+		p := t.parent[v]
+		if p < 0 {
 			return false
 		}
 		v = p

@@ -2,6 +2,14 @@
 
 package mtree
 
+// InvariantChecksArmed reports whether the runtime invariant hooks are
+// compiled in (see hooks_on.go).
+const InvariantChecksArmed = false
+
 // treeCheckHook is a no-op unless built with -tags invariants, which
 // turns it into a Validate call after every DCDM tree mutation.
 func treeCheckHook(*Tree) {}
+
+// dcdmCheckHook is a no-op unless built with -tags invariants, which
+// turns it into treeCheckHook plus the incremental max-UL cross-check.
+func dcdmCheckHook(*DCDM) {}

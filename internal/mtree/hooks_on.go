@@ -2,6 +2,14 @@
 
 package mtree
 
+import "fmt"
+
+// InvariantChecksArmed reports whether the runtime invariant hooks are
+// compiled in. Allocation-floor tests consult it: the per-mutation
+// Validate pass allocates freely, so steady-state alloc budgets only
+// hold in untagged builds.
+const InvariantChecksArmed = true
+
 // treeCheckHook re-validates the tree after every DCDM Join/Leave. The
 // safe mutators are supposed to make corruption impossible, so a
 // failure here is a bug in this package and panics. (The full
@@ -11,5 +19,19 @@ package mtree
 func treeCheckHook(t *Tree) {
 	if err := t.Validate(); err != nil {
 		panic("mtree: invariant violated after tree mutation: " + err.Error())
+	}
+}
+
+// dcdmCheckHook extends treeCheckHook with the incremental-bound
+// cross-check: the lazy-deletion max-UL multiset must agree exactly
+// with a from-scratch rescan of the member set (the historical
+// recomputeMaxUL, retained for this comparison).
+func dcdmCheckHook(d *DCDM) {
+	treeCheckHook(d.tree)
+	if got, want := d.ul.Max(), d.recomputeMaxUL(); got != want {
+		panic(fmt.Sprintf("mtree: incremental maxUL %g diverged from member rescan %g", got, want))
+	}
+	if got, want := d.ul.Len(), d.tree.MemberCount(); got != want {
+		panic(fmt.Sprintf("mtree: maxUL multiset tracks %d delays for %d members", got, want))
 	}
 }

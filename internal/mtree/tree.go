@@ -4,14 +4,31 @@
 // heuristic, used by SCMP), KMB (the Kou–Markowsky–Berman Steiner-tree
 // approximation, the min-cost baseline) and SPT (shortest-delay-path
 // tree, the DVMRP/MOSPF/CBT baseline).
+//
+// Tree is an incremental engine: all per-node state lives in dense
+// slices indexed by NodeID (parent array, sorted child lists, a
+// membership bitset) and the multicast delay ml(v) of every on-tree
+// node is maintained as a cache that mutations extend or rewrite, so
+// OnTree/IsMember/Delay are O(1) and the sorted Nodes/Members views are
+// rebuilt at most once per mutation. The historical map-backed
+// implementation survives as TreeRef (ref.go) and backs the
+// differential equivalence gate in equiv_test.go.
 package mtree
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"scmp/internal/topology"
+)
+
+// Parent-array sentinels. On-tree nodes have parent >= 0, except the
+// root which carries noParent; everything else is offTree.
+const (
+	offTree  topology.NodeID = -2
+	noParent topology.NodeID = -1
 )
 
 // Tree is a multicast tree rooted at the m-router. Every on-tree node
@@ -19,12 +36,31 @@ import (
 // nodes marks routers whose subnets contain group members. Non-member
 // relay nodes may appear anywhere except as leaves (the algorithms prune
 // non-member leaves).
+//
+// Accessor contract: Children, Nodes, Members and the slices returned
+// by PruneFrom/Leave/LeaveBatch are views into state the tree owns and
+// rebuilds in place — they are valid until the next mutation and must
+// not be modified or retained by the caller. (Every pre-existing caller
+// either iterates immediately or copies; packet.BuildSubtree copies.)
 type Tree struct {
-	g        *topology.Graph
-	root     topology.NodeID
-	parent   map[topology.NodeID]topology.NodeID
-	children map[topology.NodeID]map[topology.NodeID]bool
-	members  map[topology.NodeID]bool
+	g    *topology.Graph
+	root topology.NodeID
+
+	parent   []topology.NodeID   // offTree / noParent sentinels, see above
+	children [][]topology.NodeID // sorted child lists; capacity retained across detach
+	member   []uint64            // membership bitset
+	ml       []float64           // cached multicast delay root->v (top-down summation)
+
+	size    int // on-tree node count, root included
+	nMember int
+
+	nodesView    []topology.NodeID // sorted on-tree nodes, rebuilt when stale
+	nodesStale   bool
+	membersView  []topology.NodeID // sorted members, rebuilt when stale
+	membersStale bool
+
+	pruneScratch []topology.NodeID // backing for PruneFrom/Leave results
+	walkScratch  []topology.NodeID // DFS stack for reparent/DetachSubtree
 }
 
 // NewTree returns a tree containing only the root (the m-router).
@@ -32,13 +68,25 @@ func NewTree(g *topology.Graph, root topology.NodeID) *Tree {
 	if root < 0 || int(root) >= g.N() {
 		panic(fmt.Sprintf("mtree: root %d out of range", root))
 	}
-	return &Tree{
-		g:        g,
-		root:     root,
-		parent:   make(map[topology.NodeID]topology.NodeID),
-		children: make(map[topology.NodeID]map[topology.NodeID]bool),
-		members:  make(map[topology.NodeID]bool),
+	n := g.N()
+	t := &Tree{
+		g:            g,
+		root:         root,
+		parent:       make([]topology.NodeID, n),
+		children:     make([][]topology.NodeID, n),
+		member:       make([]uint64, (n+63)/64),
+		ml:           make([]float64, n),
+		size:         1,
+		nodesStale:   true,
+		membersStale: true,
 	}
+	for i := range t.parent {
+		t.parent[i] = offTree
+		t.ml[i] = math.Inf(1)
+	}
+	t.parent[root] = noParent
+	t.ml[root] = 0
+	return t
 }
 
 // Root returns the tree root (the m-router).
@@ -49,72 +97,125 @@ func (t *Tree) Graph() *topology.Graph { return t.g }
 
 // OnTree reports whether v is currently on the tree.
 func (t *Tree) OnTree(v topology.NodeID) bool {
-	if v == t.root {
-		return true
-	}
-	_, ok := t.parent[v]
-	return ok
+	return v >= 0 && int(v) < len(t.parent) && t.parent[v] != offTree
 }
 
 // Parent returns v's upstream router; ok is false for the root and for
 // off-tree nodes.
 func (t *Tree) Parent(v topology.NodeID) (topology.NodeID, bool) {
-	p, ok := t.parent[v]
-	return p, ok
+	if v < 0 || int(v) >= len(t.parent) || t.parent[v] < 0 {
+		return 0, false
+	}
+	return t.parent[v], true
 }
 
-// Children returns v's downstream routers, sorted for determinism.
+// Children returns v's downstream routers, sorted. The slice is the
+// tree's own sorted child list — valid until the next mutation.
 func (t *Tree) Children(v topology.NodeID) []topology.NodeID {
-	set := t.children[v]
-	out := make([]topology.NodeID, 0, len(set))
-	for c := range set {
-		out = append(out, c)
+	if v < 0 || int(v) >= len(t.children) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.children[v]
 }
 
 // IsMember reports whether v is marked as a member router.
-func (t *Tree) IsMember(v topology.NodeID) bool { return t.members[v] }
+func (t *Tree) IsMember(v topology.NodeID) bool {
+	if v < 0 || int(v) >= len(t.parent) {
+		return false
+	}
+	return t.member[v>>6]&(1<<(uint(v)&63)) != 0
+}
 
 // SetMember marks or unmarks v as a member router. v must be on the tree
 // to be marked.
+//
+//scmplint:hotpath
 func (t *Tree) SetMember(v topology.NodeID, member bool) {
 	if member {
 		if !t.OnTree(v) {
 			panic(fmt.Sprintf("mtree: SetMember(%d) off tree", v))
 		}
-		t.members[v] = true
-	} else {
-		delete(t.members, v)
+		if !t.IsMember(v) {
+			t.member[v>>6] |= 1 << (uint(v) & 63)
+			t.nMember++
+			t.membersStale = true
+		}
+	} else if t.IsMember(v) {
+		t.member[v>>6] &^= 1 << (uint(v) & 63)
+		t.nMember--
+		t.membersStale = true
 	}
 }
 
-// Members returns the member routers, sorted.
+// Members returns the member routers, sorted. The slice is a shared
+// view rebuilt in place — valid until the next membership change.
 func (t *Tree) Members() []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(t.members))
-	for v := range t.members {
-		out = append(out, v)
+	if t.membersStale {
+		t.membersView = t.membersView[:0]
+		for wi, w := range t.member {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				t.membersView = append(t.membersView, topology.NodeID(wi<<6+b))
+			}
+		}
+		t.membersStale = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.membersView
 }
 
-// Nodes returns every on-tree node, sorted, root included.
+// MemberCount returns the number of member routers in O(1).
+func (t *Tree) MemberCount() int { return t.nMember }
+
+// Nodes returns every on-tree node, sorted, root included. The slice is
+// a shared view rebuilt in place — valid until the next mutation.
 func (t *Tree) Nodes() []topology.NodeID {
-	out := []topology.NodeID{t.root}
-	for v := range t.parent {
-		out = append(out, v)
+	if t.nodesStale {
+		t.nodesView = t.nodesView[:0]
+		for v, p := range t.parent {
+			if p != offTree {
+				t.nodesView = append(t.nodesView, topology.NodeID(v))
+			}
+		}
+		t.nodesStale = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.nodesView
 }
 
 // Size returns the number of on-tree nodes.
-func (t *Tree) Size() int { return len(t.parent) + 1 }
+func (t *Tree) Size() int { return t.size }
+
+// insertChild adds c to p's sorted child list, keeping it sorted.
+//
+//scmplint:hotpath
+func (t *Tree) insertChild(p, c topology.NodeID) {
+	kids := t.children[p]
+	i, _ := slices.BinarySearch(kids, c)
+	kids = append(kids, 0) //scmplint:ignore hotalloc — amortised growth; capacity is retained across detach, so steady-state churn re-uses it
+	copy(kids[i+1:], kids[i:])
+	kids[i] = c
+	t.children[p] = kids
+}
+
+// removeChild deletes c from p's sorted child list, keeping capacity.
+//
+//scmplint:hotpath
+func (t *Tree) removeChild(p, c topology.NodeID) {
+	kids := t.children[p]
+	i, ok := slices.BinarySearch(kids, c)
+	if !ok {
+		return
+	}
+	copy(kids[i:], kids[i+1:])
+	t.children[p] = kids[:len(kids)-1]
+}
 
 // attach links child under parent; both must be adjacent in the graph
-// and child must not already be on the tree.
+// and child must not already be on the tree. The child's cached
+// multicast delay extends the parent's — the incremental half of the
+// delay-cache invariant (DESIGN.md §14).
+//
+//scmplint:hotpath
 func (t *Tree) attach(child, parent topology.NodeID) {
 	if t.OnTree(child) {
 		panic(fmt.Sprintf("mtree: attach(%d) already on tree", child))
@@ -122,27 +223,29 @@ func (t *Tree) attach(child, parent topology.NodeID) {
 	if !t.OnTree(parent) {
 		panic(fmt.Sprintf("mtree: attach under off-tree parent %d", parent))
 	}
-	if _, ok := t.g.Edge(child, parent); !ok {
+	l, ok := t.g.Edge(child, parent)
+	if !ok {
 		panic(fmt.Sprintf("mtree: attach %d under non-adjacent %d", child, parent))
 	}
 	t.parent[child] = parent
-	if t.children[parent] == nil {
-		t.children[parent] = make(map[topology.NodeID]bool)
-	}
-	t.children[parent][child] = true
+	t.insertChild(parent, child)
+	t.ml[child] = t.ml[parent] + l.Delay
+	t.size++
+	t.nodesStale = true
 }
 
 // detach unlinks v from its parent, leaving v's subtree hanging off v.
+//
+//scmplint:hotpath
 func (t *Tree) detach(v topology.NodeID) {
-	p, ok := t.parent[v]
-	if !ok {
+	p := t.parent[v]
+	if p < 0 {
 		return
 	}
-	delete(t.parent, v)
-	delete(t.children[p], v)
-	if len(t.children[p]) == 0 {
-		delete(t.children, p)
-	}
+	t.parent[v] = offTree
+	t.removeChild(p, v)
+	t.size--
+	t.nodesStale = true
 }
 
 // reparent moves on-tree node v (and its whole subtree) under newParent.
@@ -150,37 +253,97 @@ func (t *Tree) reparent(v, newParent topology.NodeID) {
 	if !t.OnTree(v) || v == t.root {
 		panic(fmt.Sprintf("mtree: reparent(%d) invalid", v))
 	}
-	if _, ok := t.g.Edge(v, newParent); !ok {
+	l, ok := t.g.Edge(v, newParent)
+	if !ok {
 		panic(fmt.Sprintf("mtree: reparent %d under non-adjacent %d", v, newParent))
 	}
 	t.detach(v)
 	t.parent[v] = newParent
-	if t.children[newParent] == nil {
-		t.children[newParent] = make(map[topology.NodeID]bool)
+	t.insertChild(newParent, v)
+	t.size++
+	t.nodesStale = true
+	t.refreshSubtreeDelay(v, t.ml[newParent]+l.Delay)
+}
+
+// refreshSubtreeDelay rewrites the cached multicast delay of v and its
+// whole subtree after v acquired a new upstream. Each node's delay is
+// its parent's cached value plus the connecting link's delay — the same
+// left-to-right summation a fresh root-down walk performs — so cached
+// values stay bit-identical to recomputation. (A numeric delta applied
+// subtree-wide would drift: float addition is not associative.)
+func (t *Tree) refreshSubtreeDelay(v topology.NodeID, dv float64) {
+	t.ml[v] = dv
+	stack := append(t.walkScratch[:0], v)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.children[x] {
+			l, _ := t.g.Edge(c, x)
+			t.ml[c] = t.ml[x] + l.Delay
+			stack = append(stack, c) //scmplint:ignore hotalloc — walkScratch-backed; growth is retained via the storeback below
+		}
 	}
-	t.children[newParent][v] = true
+	t.walkScratch = stack[:0]
 }
 
 // PruneFrom removes v if it is a removable leaf (non-member, childless,
 // not root), then walks upstream removing newly exposed removable leaves;
 // this is the hop-by-hop PRUNE of §III-C and the leave handling of
-// §III-D. It returns the nodes removed, bottom-up.
+// §III-D. It returns the nodes removed, bottom-up; the slice is scratch
+// the tree owns, valid until the next mutation.
+//
+//scmplint:hotpath
 func (t *Tree) PruneFrom(v topology.NodeID) []topology.NodeID {
-	var removed []topology.NodeID
-	for v != t.root && t.OnTree(v) && !t.members[v] && len(t.children[v]) == 0 {
+	removed := t.pruneScratch[:0]
+	for v != t.root && t.OnTree(v) && !t.IsMember(v) && len(t.children[v]) == 0 {
 		p := t.parent[v]
 		t.detach(v)
-		removed = append(removed, v)
+		removed = append(removed, v) //scmplint:ignore hotalloc — scratch append; capacity is retained across calls
 		v = p
+	}
+	t.pruneScratch = removed
+	if len(removed) == 0 {
+		return nil
 	}
 	return removed
 }
 
 // Leave unmarks v as a member and prunes any branch it no longer
-// justifies. It returns the routers removed from the tree.
+// justifies. It returns the routers removed from the tree (tree-owned
+// scratch, valid until the next mutation).
+//
+//scmplint:hotpath
 func (t *Tree) Leave(v topology.NodeID) []topology.NodeID {
-	delete(t.members, v)
+	t.SetMember(v, false)
 	return t.PruneFrom(v)
+}
+
+// LeaveBatch unmarks several members, then prunes once: every
+// membership bit is cleared before the shared prune pass walks each
+// departure point, so a relay kept alive solely by another member of
+// the same batch is removed in this pass rather than surviving until
+// that member's own prune reaches it. The final tree and removed-router
+// set equal those of sequential Leave calls; only the removal order may
+// differ. The returned slice is tree-owned scratch, valid until the
+// next mutation.
+func (t *Tree) LeaveBatch(vs []topology.NodeID) []topology.NodeID {
+	for _, v := range vs {
+		t.SetMember(v, false)
+	}
+	removed := t.pruneScratch[:0]
+	for _, v := range vs {
+		for v != t.root && t.OnTree(v) && !t.IsMember(v) && len(t.children[v]) == 0 {
+			p := t.parent[v]
+			t.detach(v)
+			removed = append(removed, v)
+			v = p
+		}
+	}
+	t.pruneScratch = removed
+	if len(removed) == 0 {
+		return nil
+	}
+	return removed
 }
 
 // DetachSubtree removes v and its entire subtree from the tree — the
@@ -200,28 +363,37 @@ func (t *Tree) DetachSubtree(v topology.NodeID) []topology.NodeID {
 	p := t.parent[v]
 	t.detach(v)
 	var orphans []topology.NodeID
-	stack := []topology.NodeID{v}
+	stack := append(t.walkScratch[:0], v)
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if t.members[x] {
+		if t.IsMember(x) {
 			orphans = append(orphans, x)
-			delete(t.members, x)
+			t.SetMember(x, false)
 		}
-		stack = append(stack, topology.SortedNodes(t.children[x])...)
-		delete(t.children, x)
-		delete(t.parent, x)
+		stack = append(stack, t.children[x]...)
+		t.children[x] = t.children[x][:0]
+		if x != v {
+			t.parent[x] = offTree
+			t.size--
+		}
 	}
+	t.walkScratch = stack[:0]
+	t.nodesStale = true
 	t.PruneFrom(p)
-	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	slices.Sort(orphans)
 	return orphans
 }
 
-// Cost returns the tree cost: the sum of link costs over tree edges.
+// Cost returns the tree cost: the sum of link costs over tree edges,
+// accumulated in ascending child-id order (deterministic).
 func (t *Tree) Cost() float64 {
 	sum := 0.0
 	for v, p := range t.parent {
-		l, ok := t.g.Edge(v, p)
+		if p < 0 {
+			continue
+		}
+		l, ok := t.g.Edge(topology.NodeID(v), p)
 		if !ok {
 			panic("mtree: tree edge not in graph")
 		}
@@ -231,28 +403,30 @@ func (t *Tree) Cost() float64 {
 }
 
 // Delay returns the multicast delay ml(v): the delay of the unique tree
-// path from the root to v. It returns +Inf for off-tree nodes.
+// path from the root to v, read from the incremental cache. It returns
+// +Inf for off-tree nodes. The cached value is the top-down (root
+// toward v) left-to-right summation; see DESIGN.md §14 for why that
+// order is the canonical one.
+//
+//scmplint:hotpath
 func (t *Tree) Delay(v topology.NodeID) float64 {
 	if !t.OnTree(v) {
 		return math.Inf(1)
 	}
-	sum := 0.0
-	for v != t.root {
-		p := t.parent[v]
-		l, _ := t.g.Edge(v, p)
-		sum += l.Delay
-		v = p
-	}
-	return sum
+	return t.ml[v]
 }
 
 // TreeDelay returns the longest multicast delay over all members (the
 // paper's "tree delay"). It is 0 for a tree with no members.
 func (t *Tree) TreeDelay() float64 {
 	max := 0.0
-	for v := range t.members {
-		if d := t.Delay(v); d > max {
-			max = d
+	for wi, w := range t.member {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if d := t.ml[wi<<6+b]; d > max {
+				max = d
+			}
 		}
 	}
 	return max
@@ -274,54 +448,94 @@ func (t *Tree) PathToRoot(v topology.NodeID) []topology.NodeID {
 
 // Edges returns the set of (child, parent) tree edges, for visualisation.
 func (t *Tree) Edges() map[[2]topology.NodeID]bool {
-	out := make(map[[2]topology.NodeID]bool, len(t.parent))
+	out := make(map[[2]topology.NodeID]bool, t.size-1)
 	for v, p := range t.parent {
-		out[[2]topology.NodeID{v, p}] = true
+		if p >= 0 {
+			out[[2]topology.NodeID{topology.NodeID(v), p}] = true
+		}
 	}
 	return out
 }
 
 // Validate checks the structural invariants: every non-root node has a
 // parent chain reaching the root with no cycles, every tree edge exists
-// in the graph, children maps mirror parent maps, every member is on the
-// tree, and every leaf is a member or the root.
+// in the graph, child lists mirror the parent array, every member is on
+// the tree, every leaf is a member or the root, and the size/member
+// counters and the ml delay cache agree with recomputation. It must
+// return errors (not hang) on the deliberately corrupt trees Rebuild
+// can produce, so chain walks are step-capped.
 func (t *Tree) Validate() error {
-	for v, p := range t.parent {
+	n := len(t.parent)
+	for vi, p := range t.parent {
+		v := topology.NodeID(vi)
+		if p < 0 {
+			continue
+		}
 		if _, ok := t.g.Edge(v, p); !ok {
 			return fmt.Errorf("mtree: edge %d->%d not in graph", v, p)
 		}
-		if t.children[p] == nil || !t.children[p][v] {
-			return fmt.Errorf("mtree: child map missing %d under %d", v, p)
+		if _, ok := slices.BinarySearch(t.children[p], v); !ok {
+			return fmt.Errorf("mtree: child list missing %d under %d", v, p)
 		}
-		seen := map[topology.NodeID]bool{v: true}
-		cur := v
+		cur, steps := v, 0
 		for cur != t.root {
-			next, ok := t.parent[cur]
-			if !ok {
+			next := t.parent[cur]
+			if next < 0 {
 				return fmt.Errorf("mtree: %d's chain dead-ends at %d", v, cur)
 			}
-			if seen[next] {
+			if steps++; steps > n {
 				return fmt.Errorf("mtree: cycle through %d", next)
 			}
-			seen[next] = true
 			cur = next
 		}
 	}
-	for p, kids := range t.children {
-		for c := range kids {
-			if t.parent[c] != p {
-				return fmt.Errorf("mtree: children map claims %d under %d", c, p)
+	size := 0
+	for pi, kids := range t.children {
+		p := topology.NodeID(pi)
+		if t.parent[p] != offTree {
+			size++
+		}
+		if !slices.IsSorted(kids) {
+			return fmt.Errorf("mtree: child list of %d unsorted", p)
+		}
+		for _, c := range kids {
+			if c < 0 || int(c) >= n || t.parent[c] != p {
+				return fmt.Errorf("mtree: child list claims %d under %d", c, p)
 			}
 		}
 	}
-	for m := range t.members {
+	if size != t.size {
+		return fmt.Errorf("mtree: size counter %d, counted %d", t.size, size)
+	}
+	members := 0
+	for _, m := range t.Members() {
+		members++
 		if !t.OnTree(m) {
 			return fmt.Errorf("mtree: member %d off tree", m)
 		}
 	}
-	for v := range t.parent {
-		if len(t.children[v]) == 0 && !t.members[v] {
+	if members != t.nMember {
+		return fmt.Errorf("mtree: member counter %d, counted %d", t.nMember, members)
+	}
+	for vi, p := range t.parent {
+		v := topology.NodeID(vi)
+		if p >= 0 && len(t.children[v]) == 0 && !t.IsMember(v) {
 			return fmt.Errorf("mtree: non-member leaf %d", v)
+		}
+	}
+	// Delay cache: structure is a rooted tree at this point, so the
+	// parent-extension identity must hold exactly at every edge.
+	if t.ml[t.root] != 0 {
+		return fmt.Errorf("mtree: root delay cache %g, want 0", t.ml[t.root])
+	}
+	for vi, p := range t.parent {
+		if p < 0 {
+			continue
+		}
+		v := topology.NodeID(vi)
+		l, _ := t.g.Edge(v, p)
+		if want := t.ml[p] + l.Delay; t.ml[v] != want { //scmplint:ignore floatcmp — exactness IS the invariant: the cache only ever stores this same parent-extension sum, so any bit difference means a stale entry
+			return fmt.Errorf("mtree: stale delay cache at %d: %g, want %g", v, t.ml[v], want)
 		}
 	}
 	return nil

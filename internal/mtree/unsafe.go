@@ -1,6 +1,10 @@
 package mtree
 
-import "scmp/internal/topology"
+import (
+	"math"
+
+	"scmp/internal/topology"
+)
 
 // Rebuild constructs a Tree directly from a parent map, bypassing the
 // attach/detach mutators and ALL structural validation. It exists for
@@ -9,17 +13,76 @@ import "scmp/internal/topology"
 // (cycles, orphaned branches, phantom edges) to prove the invariant
 // checker rejects them. Protocol code must never call it — the safe
 // mutators are the reason committed trees are trees.
+//
+// The delay cache is filled with step-capped parent walks so a corrupt
+// input (cycle, dead-end chain) yields +Inf entries instead of a hang;
+// Validate and invariant.CheckTree reject such trees before any caller
+// trusts Delay.
 func Rebuild(g *topology.Graph, root topology.NodeID, parents map[topology.NodeID]topology.NodeID, members []topology.NodeID) *Tree {
 	t := NewTree(g, root)
+	n := g.N()
 	for child, parent := range parents {
-		t.parent[child] = parent
-		if t.children[parent] == nil {
-			t.children[parent] = make(map[topology.NodeID]bool)
+		if child < 0 || int(child) >= n {
+			continue
 		}
-		t.children[parent][child] = true
+		if t.parent[child] == offTree {
+			t.size++
+		}
+		t.parent[child] = parent
+		if parent >= 0 && int(parent) < n {
+			t.insertChild(parent, child)
+		}
+	}
+	for vi := range t.parent {
+		v := topology.NodeID(vi)
+		if t.parent[v] == offTree || v == root {
+			continue
+		}
+		t.ml[v] = t.rebuildDelay(v)
 	}
 	for _, m := range members {
-		t.members[m] = true
+		if m >= 0 && int(m) < n {
+			t.member[m>>6] |= 1 << (uint(m) & 63)
+			t.nMember++
+		}
 	}
+	t.nodesStale, t.membersStale = true, true
 	return t
+}
+
+// rebuildDelay recomputes ml(v) by collecting the parent chain and
+// summing it top-down (root toward v) — the canonical summation order
+// of the incremental cache. Walks are capped at n steps; a chain that
+// fails to reach the root (cycle, dead end) yields +Inf.
+func (t *Tree) rebuildDelay(v topology.NodeID) float64 {
+	n := len(t.parent)
+	chain := make([]topology.NodeID, 0, 8)
+	cur := v
+	for cur != t.root {
+		if cur < 0 || int(cur) >= n {
+			return math.Inf(1) // parent pointer outside the graph
+		}
+		p := t.parent[cur]
+		if p < 0 {
+			return math.Inf(1) // chain dead-ends before the root
+		}
+		chain = append(chain, cur)
+		if len(chain) > n {
+			return math.Inf(1) // cycle
+		}
+		cur = p
+	}
+	sum := 0.0
+	for i := len(chain) - 1; i >= 0; i-- {
+		p := t.root
+		if i+1 < len(chain) {
+			p = chain[i+1]
+		}
+		l, ok := t.g.Edge(chain[i], p)
+		if !ok {
+			return math.Inf(1)
+		}
+		sum += l.Delay
+	}
+	return sum
 }

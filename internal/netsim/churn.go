@@ -21,6 +21,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"scmp/internal/des"
 	"scmp/internal/packet"
@@ -128,9 +129,9 @@ func (n *Network) InstallChurn(plan ChurnPlan) *Churn {
 	xm := mean * (alpha - 1) / alpha
 	end := plan.Start + plan.Duration
 	parent := rng.New(plan.Seed)
+	var evs []churnEvent
 	for _, m := range plan.Members {
 		r := rng.Split(parent)
-		member, g := m, plan.Group
 		on, joined := false, false
 		for t := plan.Start; ; {
 			var gap float64
@@ -152,15 +153,71 @@ func (n *Network) InstallChurn(plan ChurnPlan) *Churn {
 					c.joins++
 					joined = true
 				}
-				n.Sched.At(des.Time(t), func() { n.HostJoin(member, g) })
 			} else {
 				c.leaves++
-				n.Sched.At(des.Time(t), func() { n.HostLeave(member, g) })
 			}
+			evs = append(evs, churnEvent{t: t, member: m, join: on})
 		}
+	}
+	// Events are generated member-major; the stable sort orders them by
+	// time while keeping member-major order for exact-time ties, which
+	// is precisely the order the scheduler's insertion-sequence
+	// tie-break used to run them when each event was queued directly.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+	g := plan.Group
+	for i := 0; i < len(evs); {
+		j := i + 1
+		for j < len(evs) && evs[j].t == evs[i].t { //scmplint:ignore floatcmp — intentionally exact: only bit-identical timestamps may share a scheduler instant; near-ties must stay distinct events in time order
+			j++
+		}
+		if j == i+1 {
+			ev := evs[i]
+			if ev.join {
+				n.Sched.At(des.Time(ev.t), func() { n.HostJoin(ev.member, g) })
+			} else {
+				n.Sched.At(des.Time(ev.t), func() { n.HostLeave(ev.member, g) })
+			}
+		} else {
+			// Same-instant events collapse into one scheduler entry;
+			// consecutive leaves inside it dispatch as one batch (one
+			// shared prune pass for protocols that support it).
+			run := evs[i:j]
+			n.Sched.At(des.Time(run[0].t), func() { n.dispatchChurnTick(run, g) })
+		}
+		i = j
 	}
 	n.churn = append(n.churn, c)
 	return c
+}
+
+// churnEvent is one pre-generated membership flip: member joins (or
+// leaves) the group at simulated time t.
+type churnEvent struct {
+	t      float64
+	member topology.NodeID
+	join   bool
+}
+
+// dispatchChurnTick fires a run of same-instant churn events in order:
+// joins individually, maximal consecutive leave runs as one batched
+// leave. Within one simulated instant the leave order is unobservable
+// to the protocol — only the resulting membership set matters — which
+// is what makes the batch equivalent to the sequential dispatch.
+func (n *Network) dispatchChurnTick(run []churnEvent, g packet.GroupID) {
+	batch := make([]topology.NodeID, 0, len(run))
+	for i := 0; i < len(run); {
+		if run[i].join {
+			n.HostJoin(run[i].member, g)
+			i++
+			continue
+		}
+		batch = batch[:0]
+		for i < len(run) && !run[i].join {
+			batch = append(batch, run[i].member)
+			i++
+		}
+		n.HostLeaveBatch(batch, g)
+	}
 }
 
 // --- Overload-protection metric taps ----------------------------------

@@ -49,6 +49,12 @@ type Paths struct {
 	Delay  []float64 // delay along the chosen path
 	Cost   []float64 // cost along the chosen path
 	Parent []NodeID  // predecessor on the chosen path; -1 for Src/unreachable
+
+	// minCost memoises MinCost: Float64bits(min)+1, 0 when unset. The
+	// +1 shift keeps 0 free as the sentinel (bits(0.0) is itself 0),
+	// and the encoding is sound because path costs are never NaN. A
+	// lost store race just rewrites the identical value.
+	minCost atomic.Uint64
 }
 
 // AvoidFunc reports whether the directed link u->v is unusable (down,
@@ -93,6 +99,35 @@ func (p *Paths) To(dst NodeID) []NodeID {
 			return path
 		}
 	}
+}
+
+// MinCost returns the smallest path cost in the row over every
+// destination other than Src itself (whose cost is trivially 0 and
+// would make the minimum vacuous). It is +Inf when no other node is
+// reachable. The scan runs once and is memoised; concurrent callers
+// may race the first computation, but both derive the same value from
+// the row's immutable arrays, so the race is benign.
+//
+// DCDM's graft scan uses it to skip a whole candidate row: if even the
+// cheapest path in the row costs strictly more than the best candidate
+// found so far, no entry in the row can win the cost-first ladder.
+//
+//scmplint:hotpath
+func (p *Paths) MinCost() float64 {
+	if enc := p.minCost.Load(); enc != 0 {
+		return math.Float64frombits(enc - 1)
+	}
+	min := math.Inf(1)
+	for v := range p.Cost {
+		if NodeID(v) == p.Src || math.IsInf(p.Dist[v], 1) {
+			continue
+		}
+		if c := p.Cost[v]; c < min {
+			min = c
+		}
+	}
+	p.minCost.Store(math.Float64bits(min) + 1)
+	return min
 }
 
 // Reachable reports whether dst is reachable from Src.

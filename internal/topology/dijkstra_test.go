@@ -55,6 +55,33 @@ func TestShortestUnreachable(t *testing.T) {
 	}
 }
 
+// MinCost must exclude the source row entry (whose cost is trivially 0
+// and would make the minimum vacuous), skip unreachable nodes, and
+// memoise: a second call returns the identical value without rescanning.
+func TestPathsMinCost(t *testing.T) {
+	sp := Shortest(diamond(), 0, ByDelay)
+	// Path costs from 0: node 1 -> 10, node 2 -> 1, node 3 -> 20
+	// (delay-optimal route 0-1-3). Src itself (cost 0) must not count.
+	if got := sp.MinCost(); got != 1 {
+		t.Fatalf("MinCost = %g, want 1 (cheapest non-source path)", got)
+	}
+	if got := sp.MinCost(); got != 1 {
+		t.Fatalf("memoised MinCost = %g, want 1", got)
+	}
+
+	// Unreachable nodes contribute nothing; a fully isolated source has
+	// an infinite row minimum.
+	g := New(3)
+	g.MustAddEdge(0, 1, 1, 4)
+	sp = Shortest(g, 0, ByDelay)
+	if got := sp.MinCost(); got != 4 {
+		t.Fatalf("MinCost with unreachable node = %g, want 4", got)
+	}
+	if got := Shortest(g, 2, ByDelay).MinCost(); !math.IsInf(got, 1) {
+		t.Fatalf("isolated source MinCost = %g, want +Inf", got)
+	}
+}
+
 func TestShortestSelf(t *testing.T) {
 	g := line(t, 3)
 	sp := Shortest(g, 1, ByDelay)
