@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick bench-partitions bench-churn bench-dcdm bench-dcdm-quick smoke-parallel smoke-faults smoke-partitions smoke-churn smoke-dcdm fmt
+.PHONY: all build lint lint-baseline test test-invariants bench bench-quick bench-routing bench-dataplane bench-dataplane-quick bench-partitions bench-churn bench-dcdm bench-dcdm-quick bench-domains smoke-parallel smoke-faults smoke-partitions smoke-churn smoke-dcdm smoke-domains fmt
 
 all: lint test
 
@@ -104,6 +104,17 @@ bench-dcdm:
 bench-dcdm-quick:
 	$(GO) test -bench 'DCDM(Join|Leave|Churn)' -benchtime 1s -benchmem -run '^$$' ./internal/mtree/
 
+# Hierarchical-mode perf gate: 256 member joins on the transit-stub
+# node-count ladder (fixed 20-node domains, growing domain count), flat
+# engine vs the per-domain composer. The acceptance record is
+# BENCH_domains.txt/.json: flat ns/join and table-bytes grow ~linearly
+# with n while the hier arms stay nearly put (sublinear), with the hier
+# arm >=10x fast at every rung.
+DOMAINS_BENCHTIME ?= 3x
+bench-domains:
+	$(GO) test -bench DomainJoin -benchtime $(DOMAINS_BENCHTIME) -benchmem -run '^$$' ./internal/mtree/ | tee BENCH_domains.txt
+	$(GO) run ./cmd/benchjson < BENCH_domains.txt > BENCH_domains.json
+
 # Incremental-DCDM differential gate: the fast-vs-ref equivalence churn
 # (exact tree/result/bound equality) plus the engine unit tests, under
 # the race detector with the invariant hooks armed — every mutation
@@ -111,6 +122,21 @@ bench-dcdm-quick:
 # against a member rescan.
 smoke-dcdm:
 	$(GO) test -race -tags invariants -count=1 -run 'TestDCDMFastMatchesRef|TestDCDMLeave|TestMaxMultiset|TestTreeSharedViews' ./internal/mtree/
+
+# Hierarchical-mode differential gate: the composer's k=1-vs-flat exact
+# equivalence (mtree and experiment level), the multi-domain runtime's
+# flat-trace byte-identity, convergence and deactivation tests, and the
+# domain partition/labelling checks — race detector on, invariants
+# armed (every composed-tree mutation re-validates the local/composed
+# consistency contract) — then an end-to-end CLI check that the quick
+# domains sweep renders the exact same bytes serial and fanned over 4
+# workers.
+smoke-domains:
+	$(GO) test -race -tags invariants -count=1 -run 'Hier|Domain|TestPartition|TestMinCrossDelay' ./internal/mtree/ ./internal/core/ ./internal/topology/ ./internal/experiment/
+	$(GO) run ./cmd/scmpsim -experiment domains -quick -parallel 1 -out smoke_domains_serial.txt
+	$(GO) run -race ./cmd/scmpsim -experiment domains -quick -parallel 4 -out smoke_domains_p4.txt
+	cmp smoke_domains_serial.txt smoke_domains_p4.txt
+	rm -f smoke_domains_serial.txt smoke_domains_p4.txt
 
 # End-to-end smoke of the parallel runner under the race detector: a
 # quick Fig. 7 sweep fanned over 4 workers.

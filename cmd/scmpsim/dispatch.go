@@ -132,6 +132,19 @@ func dispatch(w io.Writer, opt options) error {
 		return cfg
 	}
 
+	domainsCfg := func() experiment.DomainsConfig {
+		cfg := experiment.DefaultDomains()
+		if opt.quick {
+			cfg.Topology.TransitSize, cfg.Topology.StubSize = 4, 12
+			cfg.Members, cfg.Seeds = 48, 2
+		}
+		if opt.seeds > 0 {
+			cfg.Seeds = opt.seeds
+		}
+		cfg.Parallel, cfg.Progress = opt.parallel, opt.progressFor("domains")
+		return cfg
+	}
+
 	runFig7 := func() error {
 		cfg := fig7cfg()
 		header("== Fig. 7: multicast tree quality (Waxman n=%d, alpha=%.2f, beta=%.2f, %d seeds) ==\n",
@@ -249,6 +262,19 @@ func dispatch(w io.Writer, opt options) error {
 		}
 		experiment.WriteChurn(w, res)
 		return nil
+	case "domains":
+		// Outside "all" like faults and churn: the domains sweep measures
+		// the hierarchical mode's scalability, not the paper's figures.
+		cfg := domainsCfg()
+		n := cfg.Topology.TransitDomains * cfg.Topology.TransitSize * (1 + cfg.Topology.StubsPerTransitNode*cfg.Topology.StubSize)
+		header("== Hierarchical domains sweep: flat vs per-domain engines (transit-stub n=%d, %d members, %d seeds) ==\n",
+			n, cfg.Members, cfg.Seeds)
+		points := experiment.RunDomains(cfg)
+		if csv {
+			return experiment.WriteDomainsCSV(w, points)
+		}
+		experiment.WriteDomains(w, points)
+		return nil
 	case "all":
 		if err := runFig7(); err != nil {
 			return err
@@ -280,6 +306,6 @@ func dispatch(w io.Writer, opt options) error {
 		header("\n")
 		return runConcentration()
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration, faults, churn or all)", opt.experiment)
+		return fmt.Errorf("unknown experiment %q (want fig7, fig7x, fig8, fig9, placement, state, concentration, faults, churn, domains or all)", opt.experiment)
 	}
 }

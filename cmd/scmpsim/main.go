@@ -12,6 +12,7 @@
 //	scmpsim -experiment concentration  # §I core jam vs regional m-routers
 //	scmpsim -experiment faults         # chaos sweep: loss + link failures
 //	scmpsim -experiment churn          # membership churn x overload protection
+//	scmpsim -experiment domains        # hierarchical multi-domain scalability
 //
 // Use -quick for a fast smoke run, -seeds to override the averaging
 // width, -parallel to bound the worker pool fanning (topology, seed)
@@ -37,7 +38,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("scmpsim", flag.ContinueOnError)
-	experimentName := fs.String("experiment", "all", "fig7 | fig7x | fig8 | fig9 | placement | state | concentration | faults | churn | all")
+	experimentName := fs.String("experiment", "all", "fig7 | fig7x | fig8 | fig9 | placement | state | concentration | faults | churn | domains | all")
 	seeds := fs.Int("seeds", 0, "override the number of seeds (0 = paper default)")
 	quick := fs.Bool("quick", false, "shrink the sweep for a fast smoke run")
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = serial)")

@@ -5,6 +5,15 @@
 //	topogen -kind random -n 50 -degree 3 -seed 2   # GT-ITM-style flat random
 //	topogen -kind arpanet                          # fixed ARPANET map
 //	topogen -kind waxman -format edges             # "u v delay cost" lines
+//
+// Transit-stub topologies take their own dimension flags (the -n knob
+// belongs to the flat generators and is rejected here — no silent
+// reinterpretation) and can reach the 10k+ node scale of the
+// hierarchical-mode experiments; the edge list then carries the domain
+// labelling as "# domain <node> <domain> <transit|stub>" comment lines:
+//
+//	topogen -kind transitstub -transit-domains 5 -transit-size 8 \
+//	        -stubs 3 -stub-size 83 -format edges   # 10000 nodes, labelled
 package main
 
 import (
@@ -32,13 +41,34 @@ func run(args []string, stdout io.Writer) error {
 	alpha := fs.Float64("alpha", 0.25, "Waxman alpha")
 	beta := fs.Float64("beta", 0.2, "Waxman beta")
 	degree := fs.Float64("degree", 3, "target average degree (random)")
+	transitDomains := fs.Int("transit-domains", 4, "transit domain count (transitstub)")
+	transitSize := fs.Int("transit-size", 4, "nodes per transit domain (transitstub)")
+	stubs := fs.Int("stubs", 2, "stub domains per transit node (transitstub)")
+	stubSize := fs.Int("stub-size", 3, "nodes per stub domain (transitstub)")
+	edgeProb := fs.Float64("edge-prob", 0.4, "extra intra-domain edge probability in (0,1] (transitstub)")
 	seed := fs.Int64("seed", 1, "random seed")
 	format := fs.String("format", "dot", "dot | edges")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// Reject flags the selected kind would silently ignore: a 10k-node
+	// request must produce a 10k-node graph or an error, never a
+	// default-sized graph with the knob dropped on the floor.
+	perKind := map[string]string{
+		"n": "waxman|random", "degree": "random", "alpha": "waxman", "beta": "waxman",
+		"transit-domains": "transitstub", "transit-size": "transitstub",
+		"stubs": "transitstub", "stub-size": "transitstub", "edge-prob": "transitstub",
+	}
+	for name, kinds := range perKind {
+		if set[name] && !matchKind(kinds, *kind) {
+			return fmt.Errorf("-%s applies to kind %s, not %q", name, kinds, *kind)
+		}
+	}
 
 	var g *topology.Graph
+	var info *topology.TransitStubInfo
 	switch *kind {
 	case "waxman":
 		cfg := topology.WaxmanConfig{N: *n, Alpha: *alpha, Beta: *beta, GridSize: 32767, Connect: true}
@@ -56,11 +86,21 @@ func run(args []string, stdout io.Writer) error {
 	case "arpanet":
 		g = topology.Arpanet()
 	case "transitstub":
-		tg, _, err := topology.TransitStub(topology.DefaultTransitStub(), rng.New(*seed))
+		if *edgeProb <= 0 || *edgeProb > 1 {
+			return fmt.Errorf("-edge-prob %g outside (0,1]", *edgeProb)
+		}
+		cfg := topology.TransitStubConfig{
+			TransitDomains:      *transitDomains,
+			TransitSize:         *transitSize,
+			StubsPerTransitNode: *stubs,
+			StubSize:            *stubSize,
+			EdgeProb:            *edgeProb,
+		}
+		var err error
+		g, info, err = topology.TransitStub(cfg, rng.New(*seed))
 		if err != nil {
 			return err
 		}
-		g = tg
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
@@ -72,6 +112,17 @@ func run(args []string, stdout io.Writer) error {
 		return topology.WriteDOT(w, g, *kind, nil)
 	case "edges":
 		fmt.Fprintf(w, "# %s n=%d m=%d avg_degree=%.2f\n", *kind, g.N(), g.M(), g.AvgDegree())
+		if info != nil {
+			// Domain labelling, consumable by hierarchical-mode tooling
+			// and ignorable by plain edge-list readers.
+			for v, d := range info.Domain {
+				role := "stub"
+				if info.Roles[v] == topology.RoleTransit {
+					role = "transit"
+				}
+				fmt.Fprintf(w, "# domain %d %d %s\n", v, d, role)
+			}
+		}
 		for u := 0; u < g.N(); u++ {
 			for _, l := range g.Neighbors(topology.NodeID(u)) {
 				if topology.NodeID(u) < l.To {
@@ -83,4 +134,22 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// matchKind reports whether kind is one of the "a|b" alternatives.
+func matchKind(kinds, kind string) bool {
+	for len(kinds) > 0 {
+		i := 0
+		for i < len(kinds) && kinds[i] != '|' {
+			i++
+		}
+		if kinds[:i] == kind {
+			return true
+		}
+		if i == len(kinds) {
+			break
+		}
+		kinds = kinds[i+1:]
+	}
+	return false
 }

@@ -19,11 +19,16 @@ import (
 
 // parkedReq is one reliable request in the degraded parked state: its
 // retry budget is spent, so instead of an exponential retransmission
-// ladder it holds a single deferred re-attempt timer.
+// ladder it holds a single deferred re-attempt timer. firstSeq..seq is
+// the lineage of the ladder that gave up, so a late ACK can still
+// claim the request (lateAck), and the re-attempt keeps extending the
+// same lineage instead of starting a fresh one.
 type parkedReq struct {
-	kind    packet.Kind
-	payload []byte
-	timer   *des.Event
+	kind     packet.Kind
+	payload  []byte
+	seq      uint64
+	firstSeq uint64
+	timer    *des.Event
 }
 
 // admitJoin is the m-router's deterministic admission control: with an
@@ -70,7 +75,7 @@ func (s *SCMP) handleNack(node topology.NodeID, pkt *netsim.Packet) {
 	}
 	key := pendingKey{node, pkt.Group}
 	p := s.pending[key]
-	if p == nil || p.seq != info.Seq || p.kind != info.Req {
+	if p == nil || info.Req != p.kind || info.Seq < p.firstSeq || info.Seq > p.seq {
 		return // stale NACK for a superseded request
 	}
 	if p.timer != nil {
@@ -89,20 +94,38 @@ func (s *SCMP) handleNack(node topology.NodeID, pkt *netsim.Packet) {
 // the next step of the backoff ladder it left.
 func (s *SCMP) park(key pendingKey, p *pendingReq) {
 	s.unpark(key)
-	s.net.NotePark(key.node)
+	s.net.NotePark(s.noteNode(key))
 	wait := des.Time(s.cfg.RefreshInterval)
 	if wait <= 0 {
 		wait = des.Time(s.cfg.AckTimeout * float64(uint64(1)<<uint(p.attempt+1)))
 	}
-	pk := &parkedReq{kind: p.kind, payload: p.payload}
+	pk := &parkedReq{kind: p.kind, payload: p.payload, seq: p.seq, firstSeq: p.firstSeq}
 	pk.timer = s.net.Sched.After(wait, func() {
 		if s.parked[key] != pk {
 			return // superseded by a newer request since
 		}
 		delete(s.parked, key)
-		s.sendReliableOpt(key.node, key.g, pk.kind, pk.payload, true)
+		s.sendReliableOpt(key.node, key.g, pk.kind, pk.payload, true, pk.firstSeq)
 	})
 	s.parked[key] = pk
+}
+
+// lateAck resolves a parked request whose ACK arrived after the retry
+// ladder gave up: the m-router did process the operation — the reply
+// just lost the race with the park. Without this, a topology whose
+// control round trip exceeds the whole backoff ladder livelocks: every
+// ladder parks before its ACK returns, every deferred re-attempt
+// re-sends under a fresh sequence, and every reply is forever "stale".
+func (s *SCMP) lateAck(key pendingKey, a packet.AckInfo) {
+	pk := s.parked[key]
+	if pk == nil || a.Req != pk.kind || a.Seq < pk.firstSeq || a.Seq > pk.seq {
+		return
+	}
+	s.unpark(key)
+	s.net.NoteParkRecover(s.noteNode(key))
+	if pk.kind == packet.Replicate {
+		s.flushAckQueue(key.g)
+	}
 }
 
 // unpark cancels and forgets key's parked request, if any: a newer

@@ -29,16 +29,52 @@ type pendingKey struct {
 	g    packet.GroupID
 }
 
+// replSlot is the sentinel "node" of a group's replication slot. The
+// primary's snapshot ladder must not share a slot with the primary's
+// own membership ladder for the same group — a snapshot superseding the
+// primary's self-JOIN would cancel exactly the ladder that re-lands
+// that membership after a failover.
+const replSlot topology.NodeID = -2
+
+// replKey returns the reliable-request slot of group g's replication
+// stream (primary → standby snapshots).
+func replKey(g packet.GroupID) pendingKey { return pendingKey{node: replSlot, g: g} }
+
+// noteNode maps a slot to the node its park/recover metrics are charged
+// to: the requester, or the primary for the synthetic replication slot.
+func (s *SCMP) noteNode(key pendingKey) topology.NodeID {
+	if key.node >= 0 {
+		return key.node
+	}
+	return s.homes[0]
+}
+
 // pendingReq is one unacknowledged reliable request. fromPark marks a
 // parked request's deferred re-attempt, so its eventual ACK can be
 // counted as a park recovery.
+//
+// firstSeq..seq is the request's lineage: every sequence number this
+// same logical operation has been transmitted under, across park /
+// re-attempt cycles. An ACK bearing any of them resolves the request —
+// on a topology whose control round trip exceeds the backoff ladder,
+// the reply to one incarnation routinely arrives while a later
+// incarnation is outstanding, and matching only the newest sequence
+// would livelock the slot forever. A superseding request (a new
+// operation on the same slot) resets the lineage.
 type pendingReq struct {
 	kind     packet.Kind
 	payload  []byte
 	seq      uint64
+	firstSeq uint64
 	attempt  int
 	timer    *des.Event
 	fromPark bool
+}
+
+// acked reports whether a is a reply to any incarnation of this
+// request's lineage.
+func (p *pendingReq) acked(a packet.AckInfo) bool {
+	return a.Req == p.kind && a.Seq >= p.firstSeq && a.Seq <= p.seq
 }
 
 var _ netsim.FaultListener = (*SCMP)(nil)
@@ -51,44 +87,79 @@ var _ netsim.FaultListener = (*SCMP)(nil)
 // acknowledged or the retry cap is reached; otherwise it degrades to
 // the classic fire-and-forget unicast.
 func (s *SCMP) sendReliable(node topology.NodeID, g packet.GroupID, kind packet.Kind, payload []byte) {
-	s.sendReliableOpt(node, g, kind, payload, false)
+	s.sendReliableOpt(node, g, kind, payload, false, 0)
 }
 
-// sendReliableOpt is sendReliable with the fromPark provenance flag set
-// by a parked request's deferred re-attempt.
-func (s *SCMP) sendReliableOpt(node topology.NodeID, g packet.GroupID, kind packet.Kind, payload []byte, fromPark bool) {
+// sendReliableOpt is sendReliable with the provenance of a parked
+// request's deferred re-attempt: fromPark marks it for park-recovery
+// accounting, and lineage (when non-zero) is the firstSeq of the
+// operation being re-attempted, so replies to its earlier incarnations
+// still match (see pendingReq).
+func (s *SCMP) sendReliableOpt(node topology.NodeID, g packet.GroupID, kind packet.Kind, payload []byte, fromPark bool, lineage uint64) {
 	if s.cfg.AckTimeout <= 0 {
 		s.net.SendUnicast(node, &netsim.Packet{
 			Kind:    kind,
 			Group:   g,
 			Src:     node,
-			Dst:     s.home(g),
+			Dst:     s.ctrlHome(node, g),
 			Payload: payload,
 			Size:    packet.ControlSize,
 		})
 		return
 	}
 	key := pendingKey{node, g}
+	if kind == packet.Replicate {
+		key = replKey(g) // dedicated slot: see replSlot
+	}
 	s.unpark(key) // a newer request supersedes any parked one
 	if old := s.pending[key]; old != nil && old.timer != nil {
 		old.timer.Cancel()
 	}
 	s.reqSeq++
-	p := &pendingReq{kind: kind, payload: payload, seq: s.reqSeq, fromPark: fromPark}
+	p := &pendingReq{kind: kind, payload: payload, seq: s.reqSeq, firstSeq: s.reqSeq, fromPark: fromPark}
+	if lineage != 0 {
+		p.firstSeq = lineage
+	}
 	s.pending[key] = p
 	s.transmitReq(key, p)
 	s.armRetry(key, p)
+}
+
+// staleCtl is the m-router-side ordering complement to the requester's
+// per-slot supersede: sequence numbers are issued from one monotone
+// counter, so a membership request carrying a lower sequence than one
+// already accepted from the same (requester, group) is a retransmitted
+// copy of a superseded operation — the requester has since sent (and
+// the m-router applied) its successor, and applying the straggler would
+// roll the membership back. Retransmissions of the *current* operation
+// (equal sequence) pass, so a lost ACK is still re-answered.
+// Sequence-less fire-and-forget requests are never filtered.
+func (s *SCMP) staleCtl(member topology.NodeID, g packet.GroupID, seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	key := pendingKey{member, g}
+	if seq < s.ctlSeen[key] {
+		return true
+	}
+	s.ctlSeen[key] = seq
+	return false
 }
 
 // transmitReq puts one (re)transmission of a reliable request on the
 // wire. The request's sequence number rides the packet's Seq field so
 // the m-router can echo it in the ACK.
 func (s *SCMP) transmitReq(key pendingKey, p *pendingReq) {
-	s.net.SendUnicast(key.node, &netsim.Packet{
+	src, dst := key.node, s.home(key.g)
+	if p.kind == packet.Replicate {
+		// Replication flows primary → standby, not requester → home.
+		src, dst = s.homes[0], s.cfg.Standby
+	}
+	s.net.SendUnicast(src, &netsim.Packet{
 		Kind:    p.kind,
 		Group:   key.g,
-		Src:     key.node,
-		Dst:     s.home(key.g),
+		Src:     src,
+		Dst:     dst,
 		Seq:     p.seq,
 		Payload: p.payload,
 		Size:    packet.ControlSize,
@@ -138,10 +209,12 @@ func (s *SCMP) retryLimit() int {
 }
 
 // ack is the m-router's acknowledgement of a reliable request. Requests
-// without a sequence number (fire-and-forget mode) and the m-router's
-// own local joins are not acknowledged.
+// without a sequence number (fire-and-forget mode) are not
+// acknowledged. An ACK addressed to the home itself self-delivers: the
+// durable-mode primary sends its own membership through the reliable
+// path (HostJoin), and that ladder needs settling like any other.
 func (s *SCMP) ack(g packet.GroupID, req packet.Kind, to topology.NodeID, seq uint64) {
-	if seq == 0 || to == s.home(g) {
+	if seq == 0 {
 		return
 	}
 	payload := packet.EncodeAck(packet.AckInfo{Req: req, Seq: seq})
@@ -155,6 +228,49 @@ func (s *SCMP) ack(g packet.GroupID, req packet.Kind, to topology.NodeID, seq ui
 	})
 }
 
+// durableMode reports whether membership acknowledgements are chained
+// to replication: a hot standby is receiving snapshots over a reliable
+// channel and has not yet been promoted. (Standby failover is a flat,
+// single-m-router feature.)
+func (s *SCMP) durableMode() bool {
+	return s.cfg.Standby >= 0 && s.cfg.AckTimeout > 0 && s.epoch == 0 && !s.hierarchical()
+}
+
+// ackDurable acknowledges a membership request — immediately when no
+// hot standby is in play, else only once the standby has confirmed a
+// replica snapshot reflecting the operation (flushAckQueue). Deferring
+// the ACK chains the two reliability legs: the member's retransmission
+// ladder stays alive until the operation is durable at the standby, so
+// a primary death inside the replication window leaves a live ladder
+// that re-lands the operation on the promoted standby — instead of an
+// acknowledged member silently missing from the rebuilt trees.
+func (s *SCMP) ackDurable(g packet.GroupID, req packet.Kind, to topology.NodeID, seq uint64) {
+	gs := s.groups[g]
+	if seq == 0 || !s.durableMode() || gs == nil {
+		// gs == nil: a LEAVE for a group this m-router never built —
+		// nothing was replicated, nothing to wait for.
+		s.ack(g, req, to, seq)
+		return
+	}
+	gs.ackQueue = append(gs.ackQueue, deferredAck{kind: req, to: to, seq: seq})
+}
+
+// flushAckQueue releases the group's deferred membership ACKs after the
+// standby acknowledged a replica snapshot. Snapshots carry the full
+// member set, so confirming the newest one confirms every operation
+// queued before it.
+func (s *SCMP) flushAckQueue(g packet.GroupID) {
+	gs := s.groups[g]
+	if gs == nil || len(gs.ackQueue) == 0 {
+		return
+	}
+	q := gs.ackQueue
+	gs.ackQueue = nil
+	for _, d := range q {
+		s.ack(g, d.kind, d.to, d.seq)
+	}
+}
+
 // handleAck matches an ACK against the node's pending request and, on a
 // match, cancels the retransmission timer.
 func (s *SCMP) handleAck(node topology.NodeID, pkt *netsim.Packet) {
@@ -163,17 +279,26 @@ func (s *SCMP) handleAck(node topology.NodeID, pkt *netsim.Packet) {
 		return
 	}
 	key := pendingKey{node, pkt.Group}
+	if a.Req == packet.Replicate {
+		key = replKey(pkt.Group)
+	}
 	p := s.pending[key]
-	if p == nil || p.seq != a.Seq || p.kind != a.Req {
-		return // stale ACK for a superseded request
+	if p == nil || !p.acked(a) {
+		// Not the outstanding lineage — but it may be the (late) reply
+		// to a request that already parked; that parked request is done.
+		s.lateAck(key, a)
+		return
 	}
 	if p.timer != nil {
 		p.timer.Cancel()
 	}
 	if p.fromPark {
-		s.net.NoteParkRecover(node)
+		s.net.NoteParkRecover(s.noteNode(key))
 	}
 	delete(s.pending, key)
+	if p.kind == packet.Replicate {
+		s.flushAckQueue(key.g)
+	}
 }
 
 // --- soft-state tree refresh -------------------------------------------
@@ -196,7 +321,7 @@ func (s *SCMP) armRefresh(g packet.GroupID, gs *groupState) {
 // emptied and owes no deferred grafts lets its timer die — the next
 // membership change re-arms it — so Network.Run can drain.
 func (s *SCMP) refreshGroup(g packet.GroupID, gs *groupState) {
-	tree := gs.dcdm.Tree()
+	tree := gs.tree()
 	if tree.MemberCount() == 0 && tree.Size() == 1 && len(gs.deferred) == 0 {
 		return
 	}
@@ -249,7 +374,7 @@ func (s *SCMP) Quiesce() {
 // LinkDown reacts to a link failure: refresh the path tables against
 // the masked topology, then run local repair at both endpoints.
 func (s *SCMP) LinkDown(u, v topology.NodeID) {
-	if s.cfg.DisableRepair {
+	if s.cfg.DisableRepair || s.hierarchical() {
 		return
 	}
 	s.refreshPathTables()
@@ -260,7 +385,7 @@ func (s *SCMP) LinkDown(u, v topology.NodeID) {
 // LinkUp reacts to a link heal: with paths restored, retry every
 // deferred graft.
 func (s *SCMP) LinkUp(u, v topology.NodeID) {
-	if s.cfg.DisableRepair {
+	if s.cfg.DisableRepair || s.hierarchical() {
 		return
 	}
 	s.refreshPathTables()
@@ -288,7 +413,7 @@ func (s *SCMP) NodeDown(n topology.NodeID) {
 			delete(s.parked, key)
 		}
 	}
-	if s.cfg.DisableRepair {
+	if s.cfg.DisableRepair || s.hierarchical() {
 		return
 	}
 	s.refreshPathTables()
@@ -301,7 +426,7 @@ func (s *SCMP) NodeDown(n topology.NodeID) {
 // grafts. The restarted router itself re-learns its memberships from
 // the ground-truth re-report netsim issues right after this callback.
 func (s *SCMP) NodeUp(n topology.NodeID) {
-	if s.cfg.DisableRepair {
+	if s.cfg.DisableRepair || s.hierarchical() {
 		return
 	}
 	s.refreshPathTables()
@@ -347,7 +472,9 @@ func (s *SCMP) repairEndpoint(node, dead topology.NodeID) {
 // relay), a directed FLUSH dismantles its stale subtree state.
 func (s *SCMP) mrouterRejoin(g packet.GroupID, info packet.RejoinInfo) {
 	gs := s.groups[g]
-	if gs == nil {
+	if gs == nil || gs.hier != nil {
+		// Hierarchical mode never originates REJOINs (fault repair is
+		// gated off); a stray one must not touch the nil flat engine.
 		return
 	}
 	gs.lastChange = s.net.Now()
@@ -385,7 +512,9 @@ func (s *SCMP) mrouterRejoin(g packet.GroupID, info packet.RejoinInfo) {
 // regraftDeferred grafts every deferred member that is reachable again,
 // reporting whether the tree changed. Distribution is the caller's job.
 func (s *SCMP) regraftDeferred(g packet.GroupID, gs *groupState) bool {
-	if len(gs.deferred) == 0 {
+	if len(gs.deferred) == 0 || gs.hier != nil {
+		// Hierarchical joins never defer (repair is gated off), so the
+		// hier check is defensive: the flat regraft below must not run.
 		return false
 	}
 	home := s.home(g)
@@ -420,7 +549,7 @@ func (s *SCMP) healGroups() {
 // currently faulted links masked out, so re-grafts route around them.
 func (s *SCMP) refreshPathTables() {
 	f := s.net.Faults()
-	if f == nil {
+	if f == nil || s.hierarchical() {
 		return
 	}
 	// Lazy tables over a frozen fault snapshot: local repair typically

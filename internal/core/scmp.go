@@ -82,7 +82,11 @@ func (e *entry) down() []topology.NodeID {
 // monotonically increasing distribution version, and the accounting
 // session the group's traffic is charged to (§II-C).
 type groupState struct {
-	dcdm    *mtree.DCDM
+	dcdm *mtree.DCDM
+	// hier replaces dcdm in the hierarchical multi-domain mode: the
+	// per-domain composer whose composed tree is the authoritative
+	// structure (exactly one of dcdm/hier is non-nil).
+	hier    *mtree.HierDCDM
 	version uint64
 	session session.SessionID
 	// refresh is the armed soft-state redistribution timer (nil when
@@ -97,6 +101,16 @@ type groupState struct {
 	// refresh-suppression heuristic compares it against the refresh
 	// interval. Refresh ticks themselves do not update it.
 	lastChange des.Time
+	// ackQueue holds membership acknowledgements deferred until the hot
+	// standby confirms a replica snapshot covering them (ackDurable).
+	ackQueue []deferredAck
+}
+
+// deferredAck is one membership acknowledgement waiting on replication.
+type deferredAck struct {
+	kind packet.Kind
+	to   topology.NodeID
+	seq  uint64
 }
 
 func (gs *groupState) deferMember(m topology.NodeID) {
@@ -104,6 +118,15 @@ func (gs *groupState) deferMember(m topology.NodeID) {
 		gs.deferred = make(map[topology.NodeID]bool)
 	}
 	gs.deferred[m] = true
+}
+
+// tree returns the authoritative tree for the group: the composed tree
+// in hierarchical mode, the flat DCDM's otherwise.
+func (gs *groupState) tree() *mtree.Tree {
+	if gs.hier != nil {
+		return gs.hier.Tree()
+	}
+	return gs.dcdm.Tree()
 }
 
 // Config parameterises an SCMP domain.
@@ -191,6 +214,24 @@ type Config struct {
 	// redundant packet storm under churn. Groups owing deferred grafts
 	// always refresh. Off by default.
 	RefreshSuppress bool
+	// Domains, when non-empty, labels every node with a domain id
+	// (Domains[v] = the domain of node v, dense from 0) and — together
+	// with DomainMRouters — switches SCMP into the hierarchical
+	// multi-domain mode (PROTOCOL.md §13): one m-router per domain,
+	// JOIN/LEAVE resolved at the member's local m-router, and domain
+	// subtrees composed through the group's core domain over the
+	// contracted backbone. Must be set together with DomainMRouters.
+	Domains []int
+	// DomainMRouters lists one m-router per domain (index = domain id;
+	// each must lie in its domain). Group g's core domain is
+	// g mod len(DomainMRouters): the composed tree roots at that
+	// domain's m-router and off-tree sources encapsulate to it. A
+	// single-domain configuration degenerates to the flat engine
+	// byte-for-byte (the same code path runs). The hierarchical mode is
+	// mutually exclusive with MRouters, Standby, and the reliable-
+	// signalling/overload knobs (AckTimeout, RetryBudget, AdmitLimit,
+	// ServiceTime); soft-state refresh and DisableBranch compose.
+	DomainMRouters []topology.NodeID
 }
 
 // SCMP is the protocol instance managing every router in a domain.
@@ -201,6 +242,10 @@ type SCMP struct {
 	spDelay *topology.AllPairs
 	spCost  *topology.AllPairs
 	groups  map[packet.GroupID]*groupState
+	// view is the domain decomposition of the hierarchical multi-domain
+	// mode (nil in flat mode — the discriminator every hierarchical
+	// branch tests). Built in Attach from Config.Domains.
+	view *topology.DomainView
 	// entries is indexed by node id (allocated in Attach once the
 	// topology size is known). Dense indexing keeps per-node entry
 	// access disjoint: under a partitioned drive concurrent windows
@@ -224,6 +269,15 @@ type SCMP struct {
 	pending map[pendingKey]*pendingReq
 	parked  map[pendingKey]*parkedReq
 	reqSeq  uint64
+	// ctlSeen records, per (requester, group), the highest request
+	// sequence the m-router has accepted — the ordering guard against a
+	// retransmitted copy of a superseded operation arriving after its
+	// successor and rolling the membership back (repair.go staleCtl).
+	ctlSeen map[pendingKey]uint64
+	// replSeen is the standby-side equivalent for replication: the
+	// highest snapshot sequence applied per group, so a straggling copy
+	// of a superseded snapshot cannot overwrite a newer replica.
+	replSeen map[packet.GroupID]uint64
 }
 
 var _ netsim.Protocol = (*SCMP)(nil)
@@ -238,6 +292,18 @@ func New(cfg Config) *SCMP {
 	}
 	if cfg.Standby <= 0 {
 		cfg.Standby = -1 // disabled
+	}
+	if (len(cfg.Domains) == 0) != (len(cfg.DomainMRouters) == 0) {
+		panic("core: Domains and DomainMRouters must be set together")
+	}
+	if len(cfg.DomainMRouters) == 1 {
+		// A single-domain hierarchical configuration IS the flat
+		// protocol: run the flat code path so the degeneration is
+		// byte-identical by construction (the differential gate's k=1
+		// arm), and keep hierarchical() equivalent to "k >= 2".
+		cfg.MRouter = cfg.DomainMRouters[0]
+		cfg.Domains = nil
+		cfg.DomainMRouters = nil
 	}
 	homes := []topology.NodeID{cfg.MRouter}
 	if len(cfg.MRouters) > 0 {
@@ -254,16 +320,41 @@ func New(cfg Config) *SCMP {
 			seen[h] = true
 		}
 	}
+	if len(cfg.DomainMRouters) > 0 {
+		if len(cfg.MRouters) > 0 {
+			panic("core: hierarchical mode and MRouters are mutually exclusive")
+		}
+		if cfg.Standby >= 0 {
+			panic("core: hierarchical mode does not support a hot standby")
+		}
+		if cfg.AckTimeout > 0 || cfg.RetryBudget > 0 || cfg.AdmitLimit > 0 {
+			panic("core: hierarchical mode does not support reliable-signalling/overload knobs")
+		}
+		if cfg.ServiceTime > 0 {
+			panic("core: hierarchical mode does not support service-time modelling (per-domain service centres are future work)")
+		}
+		homes = append([]topology.NodeID(nil), cfg.DomainMRouters...)
+		cfg.MRouter = homes[0]
+		seen := map[topology.NodeID]bool{}
+		for _, h := range homes {
+			if seen[h] {
+				panic(fmt.Sprintf("core: duplicate domain m-router %d", h))
+			}
+			seen[h] = true
+		}
+	}
 	if cfg.Standby == cfg.MRouter {
 		panic("core: standby must differ from the primary m-router")
 	}
 	return &SCMP{
-		cfg:     cfg,
-		homes:   homes,
-		groups:  make(map[packet.GroupID]*groupState),
-		replica: make(map[packet.GroupID]map[topology.NodeID]bool),
-		pending: make(map[pendingKey]*pendingReq),
-		parked:  make(map[pendingKey]*parkedReq),
+		cfg:      cfg,
+		homes:    homes,
+		groups:   make(map[packet.GroupID]*groupState),
+		replica:  make(map[packet.GroupID]map[topology.NodeID]bool),
+		pending:  make(map[pendingKey]*pendingReq),
+		parked:   make(map[pendingKey]*parkedReq),
+		ctlSeen:  make(map[pendingKey]uint64),
+		replSeen: make(map[packet.GroupID]uint64),
 	}
 }
 
@@ -301,6 +392,24 @@ func (s *SCMP) Attach(n *netsim.Network) {
 		panic(fmt.Sprintf("core: standby %d out of range", s.cfg.Standby))
 	}
 	s.net = n
+	if len(s.cfg.DomainMRouters) > 0 {
+		if len(s.cfg.Domains) != n.G.N() {
+			panic(fmt.Sprintf("core: %d domain labels for %d nodes", len(s.cfg.Domains), n.G.N()))
+		}
+		view, err := topology.NewDomainView(n.G, s.cfg.Domains)
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		if view.K() != len(s.cfg.DomainMRouters) {
+			panic(fmt.Sprintf("core: %d domain m-routers for %d domains", len(s.cfg.DomainMRouters), view.K()))
+		}
+		for d, m := range s.cfg.DomainMRouters {
+			if view.Domain(m) != d {
+				panic(fmt.Sprintf("core: m-router %d assigned to domain %d but lies in domain %d", m, d, view.Domain(m)))
+			}
+		}
+		s.view = view
+	}
 	s.entries = make([]map[packet.GroupID]*entry, n.G.N())
 	// Lazy tables: rows materialise the first time DCDM consults a
 	// source, so a domain serving small groups never pays the full
@@ -320,13 +429,23 @@ func (s *SCMP) MRouter() topology.NodeID { return s.homes[0] }
 func (s *SCMP) Accounting() *session.Manager { return s.acct }
 
 // GroupTree returns the m-router's current tree for g (nil if the group
-// has no state yet). Read-only.
+// has no state yet): the composed tree in hierarchical mode. Read-only.
 func (s *SCMP) GroupTree(g packet.GroupID) *mtree.Tree {
 	gs := s.groups[g]
 	if gs == nil {
 		return nil
 	}
-	return gs.dcdm.Tree()
+	return gs.tree()
+}
+
+// GroupComposer returns g's hierarchical composer (nil in flat mode or
+// when the group has no state yet). Read-only, for tests and tooling.
+func (s *SCMP) GroupComposer(g packet.GroupID) *mtree.HierDCDM {
+	gs := s.groups[g]
+	if gs == nil {
+		return nil
+	}
+	return gs.hier
 }
 
 func (s *SCMP) group(g packet.GroupID) *groupState {
@@ -339,10 +458,27 @@ func (s *SCMP) group(g packet.GroupID) *groupState {
 		if math.IsInf(kappa, 1) {
 			kappa = math.Inf(1)
 		}
+		if s.view != nil {
+			core := int(g) % len(s.homes)
+			gs = &groupState{hier: mtree.NewHierDCDM(s.view, s.cfg.DomainMRouters, core, kappa)}
+			if s.cfg.DelayBudget > 0 {
+				gs.hier.SetQoSBudget(s.cfg.DelayBudget)
+			}
+			gs.version = s.epoch * failoverEpoch
+			s.groups[g] = gs
+			return gs
+		}
 		gs = &groupState{dcdm: mtree.NewDCDM(s.net.G, s.home(g), kappa, s.spDelay, s.spCost)}
 		if s.cfg.DelayBudget > 0 {
 			gs.dcdm.SetQoSBudget(s.cfg.DelayBudget)
 		}
+		// A group created after a failover starts its version stream in
+		// the current epoch (pre-failover groups get this in Failover
+		// itself). Without the stamp, its distributions would carry
+		// epoch-0 versions: stale pre-failover entries could outrank
+		// them, and SendData's epoch check would force every member
+		// source into the encapsulation fallback forever.
+		gs.version = s.epoch * failoverEpoch
 		s.groups[g] = gs
 	}
 	return gs
@@ -408,13 +544,25 @@ func (s *SCMP) StateEntries(node topology.NodeID) int {
 
 // --- membership (§III-B, §III-C) --------------------------------------
 
-// HostJoin implements the member joining procedure at the DR.
+// HostJoin implements the member joining procedure at the DR. In
+// hierarchical mode the JOIN goes to the member's *local* m-router —
+// the locality the multi-domain architecture buys — instead of the
+// group's (core) home.
 func (s *SCMP) HostJoin(node topology.NodeID, g packet.GroupID) {
-	if s.isHome(node, g) {
-		// The m-router is its own DR: no JOIN message crosses the network.
-		s.mrouterJoin(node, g)
+	if s.isCtrlHome(node, node, g) {
 		e := s.entry(node, g)
 		e.onTree, e.hasLocal = true, true
+		if s.durableMode() {
+			// The m-router's own membership must survive the m-router: in
+			// durable mode the JOIN goes through the reliable path even
+			// though it self-delivers, so the ladder stays alive until the
+			// operation is replicated — and, across a failover, re-resolves
+			// the home and re-lands on the promoted standby.
+			s.sendReliable(node, g, packet.Join, nil)
+			return
+		}
+		// The m-router is its own DR: no JOIN message crosses the network.
+		s.mrouterJoin(node, g)
 		return
 	}
 	e := s.entry(node, g)
@@ -442,8 +590,20 @@ func (s *SCMP) HostLeave(node topology.NodeID, g packet.GroupID) {
 	}
 	e.hasLocal = false
 	e.pendingLocal = false
-	if s.isHome(node, g) {
+	if s.isCtrlHome(node, node, g) {
+		if s.durableMode() {
+			// Symmetric with HostJoin: the primary's own LEAVE rides the
+			// reliable path so a failover cannot resurrect it from a stale
+			// replica snapshot — the live ladder re-lands the LEAVE.
+			s.sendReliable(node, g, packet.Leave, nil)
+			return
+		}
 		s.mrouterLeave(node, g)
+		// A local m-router — unlike the flat home, which is the tree's
+		// root — can itself be a prunable leaf of the composed tree.
+		if s.hierarchical() && !s.isHome(node, g) && e.onTree && len(e.downstream) == 0 {
+			s.sendPrune(node, g, e)
+		}
 		return
 	}
 	// Always tell the m-router (accounting); additionally prune when the
@@ -462,7 +622,7 @@ func (s *SCMP) sendControl(node topology.NodeID, g packet.GroupID, kind packet.K
 		Kind:  kind,
 		Group: g,
 		Src:   about,
-		Dst:   s.home(g),
+		Dst:   s.ctrlHome(node, g),
 		Size:  packet.ControlSize,
 	})
 }
@@ -488,8 +648,14 @@ func (s *SCMP) sendPrune(node topology.NodeID, g packet.GroupID, e *entry) {
 // --- m-router logic (§III-D, §III-E) -----------------------------------
 
 // mrouterJoin runs DCDM for a join, records it in the service database,
-// replicates it to the standby, and distributes the tree change.
+// replicates it to the standby, and distributes the tree change. In
+// hierarchical mode the member's local m-router runs the composer
+// instead (hier.go).
 func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
+	if s.hierarchical() {
+		s.hierJoin(member, g)
+		return
+	}
 	gs := s.group(g)
 	gs.lastChange = s.net.Now()
 	defer s.armRefresh(g, gs)
@@ -500,7 +666,9 @@ func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
 		}
 	}
 	_ = s.acct.MemberJoined(g, member)
-	s.replicate(g, member, true)
+	// Replicate on the way out: the snapshot must reflect the member set
+	// after this join lands (grafted or deferred).
+	defer s.replicate(g, gs)
 	delete(gs.deferred, member)
 	if member != s.home(g) && !s.spDelay.Row(s.home(g)).Reachable(member) {
 		// The member is partitioned away from the m-router right now:
@@ -534,54 +702,88 @@ func (s *SCMP) mrouterJoin(member topology.NodeID, g packet.GroupID) {
 // by the leaving DR's hop-by-hop PRUNE; the m-router only updates its
 // own copy of the tree.
 func (s *SCMP) mrouterLeave(member topology.NodeID, g packet.GroupID) {
+	if s.hierarchical() {
+		s.hierLeave(member, g)
+		return
+	}
 	gs := s.groups[g]
 	if gs == nil {
 		return
 	}
 	_ = s.acct.MemberLeft(g, member)
-	s.replicate(g, member, false)
 	delete(gs.deferred, member)
 	gs.lastChange = s.net.Now()
 	gs.dcdm.Leave(member)
 	s.syncMRouterEntry(g, gs)
+	s.replicate(g, gs) // snapshot of the post-leave member set
 }
 
-// replicate streams one membership change to the hot-standby secondary
+// replicate streams the group's membership to the hot-standby secondary
 // (§V): "a secondary m-router concurrently running with the primary".
-func (s *SCMP) replicate(g packet.GroupID, member topology.NodeID, joined bool) {
+// The payload is a full member-set snapshot, not a join/leave delta:
+// snapshots are idempotent and a newer one legitimately supersedes an
+// older one, which is exactly the reliable-signalling slot contract
+// (one outstanding request per (node, group), newest wins) — so with an
+// AckTimeout configured the snapshot rides the ACK/retransmit ladder
+// and the replica converges even when the loss model eats individual
+// copies. A lost delta has no such backstop: the member it carried
+// would silently vanish from the replica, and a failover would rebuild
+// the trees without it.
+func (s *SCMP) replicate(g packet.GroupID, gs *groupState) {
 	if s.cfg.Standby < 0 || s.epoch > 0 {
 		return // no standby, or the standby itself is already active
 	}
-	payload := []byte{0}
-	if joined {
-		payload[0] = 1
+	members := gs.tree().Members()
+	for m := range gs.deferred {
+		// Deferred (currently partitioned) members are members too: a
+		// failover must not forget them just because grafting is waiting
+		// on a topology heal.
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	payload := packet.EncodeMembers(members)
+	if s.cfg.AckTimeout > 0 {
+		s.sendReliable(s.homes[0], g, packet.Replicate, payload)
+		return
 	}
 	s.net.SendUnicast(s.homes[0], &netsim.Packet{
 		Kind:    packet.Replicate,
 		Group:   g,
-		Src:     member,
+		Src:     s.homes[0],
 		Dst:     s.cfg.Standby,
 		Payload: payload,
 		Size:    packet.ControlSize,
 	})
 }
 
-// handleReplicate applies a membership change to the standby's replica
-// database.
+// handleReplicate installs a member-set snapshot in the standby's
+// replica database and, for a reliable (sequenced) snapshot, returns
+// the ACK that settles the primary's retransmission ladder. replSeen
+// keeps a reordered older snapshot from overwriting a newer one.
 func (s *SCMP) handleReplicate(pkt *netsim.Packet) {
-	if len(pkt.Payload) != 1 {
+	members, err := packet.DecodeMembers(pkt.Payload)
+	if err != nil {
 		return
 	}
-	members := s.replica[pkt.Group]
-	if members == nil {
-		members = make(map[topology.NodeID]bool)
-		s.replica[pkt.Group] = members
+	if pkt.Seq != 0 {
+		if pkt.Seq < s.replSeen[pkt.Group] {
+			return // stale copy of a superseded snapshot
+		}
+		s.replSeen[pkt.Group] = pkt.Seq
+		s.net.SendUnicast(s.cfg.Standby, &netsim.Packet{
+			Kind:    packet.Ack,
+			Group:   pkt.Group,
+			Src:     s.cfg.Standby,
+			Dst:     pkt.Src,
+			Payload: packet.EncodeAck(packet.AckInfo{Req: packet.Replicate, Seq: pkt.Seq}),
+			Size:    packet.ControlSize,
+		})
 	}
-	if pkt.Payload[0] == 1 {
-		members[pkt.Src] = true
-	} else {
-		delete(members, pkt.Src)
+	set := make(map[topology.NodeID]bool, len(members))
+	for _, m := range members {
+		set[m] = true
 	}
+	s.replica[pkt.Group] = set
 }
 
 // ReplicaMembers returns the standby's replicated member set for g,
@@ -623,7 +825,36 @@ func (s *SCMP) Failover() {
 	}
 	s.homes[0] = s.cfg.Standby
 	s.epoch++
+	// The failed primary's replication stream dies with it: in-flight
+	// snapshot ladders (and parked re-attempts) would otherwise keep
+	// retransmitting into the promoted standby forever.
+	for key, p := range s.pending {
+		if p.kind == packet.Replicate {
+			if p.timer != nil {
+				p.timer.Cancel()
+			}
+			delete(s.pending, key)
+		}
+	}
+	for key, pk := range s.parked {
+		if pk.kind == packet.Replicate {
+			if pk.timer != nil {
+				pk.timer.Cancel()
+			}
+			delete(s.parked, key)
+		}
+	}
 	old := s.groups
+	// The old group states are discarded below, but their armed refresh
+	// timers would survive as closures over the dead state — firing
+	// forever, redistributing the stale pre-failover tree, and
+	// unreachable by Quiesce (which walks the new map). Kill them here.
+	for _, gs := range old {
+		if gs.refresh != nil {
+			gs.refresh.Cancel()
+			gs.refresh = nil
+		}
+	}
 	s.groups = make(map[packet.GroupID]*groupState)
 	gids := make([]packet.GroupID, 0, len(s.replica))
 	for g := range s.replica {
@@ -650,6 +881,7 @@ func (s *SCMP) Failover() {
 		s.syncMRouterEntry(g, gs)
 		gs.version++
 		s.distributeTree(g, gs)
+		s.armRefresh(g, gs) // soft state resumes under the new primary
 	}
 }
 
@@ -660,19 +892,19 @@ func (s *SCMP) syncMRouterEntry(g packet.GroupID, gs *groupState) {
 	e.onTree = true
 	e.upstream = noUpstream
 	down := make(map[topology.NodeID]bool)
-	for _, c := range gs.dcdm.Tree().Children(s.home(g)) {
+	for _, c := range gs.tree().Children(s.home(g)) {
 		down[c] = true
 	}
 	e.downstream = down
 	e.downDirty = true
 	e.version = gs.version
-	commitCheck(s.home(g), gs.dcdm.Tree())
+	commitCheck(s.home(g), gs.tree())
 }
 
 // distributeTree sends one self-routing TREE packet per child subtree of
 // the m-router (§III-E).
 func (s *SCMP) distributeTree(g packet.GroupID, gs *groupState) {
-	tree := gs.dcdm.Tree()
+	tree := gs.tree()
 	for _, c := range tree.Children(s.home(g)) {
 		payload := packet.EncodeSubtree(packet.BuildSubtree(tree, c))
 		s.net.SendLink(s.home(g), c, &netsim.Packet{
@@ -689,7 +921,7 @@ func (s *SCMP) distributeTree(g packet.GroupID, gs *groupState) {
 // distributeBranch sends a BRANCH packet carrying the tree path from the
 // m-router to the new member.
 func (s *SCMP) distributeBranch(g packet.GroupID, gs *groupState, member topology.NodeID) {
-	rev := gs.dcdm.Tree().PathToRoot(member) // member ... root
+	rev := gs.tree().PathToRoot(member) // member ... root
 	if rev == nil {
 		// Defensive: fall back to a full distribution.
 		s.distributeTree(g, gs)
@@ -721,23 +953,33 @@ func (s *SCMP) distributeBranch(g packet.GroupID, gs *groupState, member topolog
 func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
 	switch pkt.Kind {
 	case packet.Join:
-		if s.isHome(node, pkt.Group) {
+		if s.isCtrlHome(node, pkt.Src, pkt.Group) {
 			member, g, seq := pkt.Src, pkt.Group, pkt.Seq
+			if s.staleCtl(member, g, seq) {
+				return // superseded op's retransmission: never roll back
+			}
 			if !s.admitJoin(node, g, member, seq) {
 				return // shed: the NACK (if any) is already on the wire
 			}
 			s.service.submit(func() {
 				s.mrouterJoin(member, g)
-				s.ack(g, packet.Join, member, seq)
+				s.ackDurable(g, packet.Join, member, seq)
 			})
 		}
 	case packet.Leave:
-		if s.isHome(node, pkt.Group) {
+		if s.isCtrlHome(node, pkt.Src, pkt.Group) {
 			member, g, seq := pkt.Src, pkt.Group, pkt.Seq
+			if s.staleCtl(member, g, seq) {
+				return // superseded op's retransmission: never roll back
+			}
 			s.service.submit(func() {
 				s.mrouterLeave(member, g)
-				s.ack(g, packet.Leave, member, seq)
+				s.ackDurable(g, packet.Leave, member, seq)
 			})
+		}
+	case packet.Graft:
+		if s.hierarchical() && s.isHome(node, pkt.Group) {
+			s.handleGraft(node, pkt)
 		}
 	case packet.Rejoin:
 		if s.isHome(node, pkt.Group) {
@@ -792,7 +1034,8 @@ func (s *SCMP) HandlePacket(node topology.NodeID, pkt *netsim.Packet) {
 // forwarding workload (one m-router, fire-and-forget control) keeps
 // all cross-partition interaction on the simulated wire and is safe.
 func (s *SCMP) ParallelWindowSafe() bool {
-	return len(s.homes) == 1 &&
+	return s.view == nil && // hierarchical mode: one composer, many homes
+		len(s.homes) == 1 &&
 		s.cfg.Standby < 0 &&
 		s.cfg.AckTimeout <= 0 &&
 		s.cfg.RefreshInterval <= 0 &&
@@ -881,10 +1124,19 @@ func (s *SCMP) handleBranch(node topology.NodeID, pkt *netsim.Packet) {
 	e.version = pkt.Version
 	if !e.onTree || e.upstream == noUpstream {
 		// Off tree, or an orphan whose upstream link died: adopt the
-		// branch as the new upstream (local repair re-homing).
-		e.onTree = true
-		e.upstream = pkt.From
-		s.recordRecovery(e)
+		// branch as the new upstream (local repair re-homing) — except
+		// at a hierarchical install's *addressed head* (pkt.Dst is the
+		// head, propagated hop-by-hop below). The head reached the
+		// composed tree through an earlier install; if that install is
+		// still in flight, pkt.From here is a unicast relay, not the
+		// tree parent, and adopting it would wedge the entry until the
+		// next refresh. Leaving upstream unset lets the in-flight
+		// equal-version install adopt correctly when it lands.
+		if !(s.hierarchical() && pkt.Dst == node) {
+			e.onTree = true
+			e.upstream = pkt.From
+			s.recordRecovery(e)
+		}
 	}
 	// Any router the BRANCH confirms on the tree can add the interface
 	// it marked at IGMP-report time — the node may be a mid-path relay
@@ -904,6 +1156,7 @@ func (s *SCMP) handleBranch(node topology.NodeID, pkt *netsim.Packet) {
 		Kind:    packet.Branch,
 		Group:   pkt.Group,
 		Src:     pkt.Src,
+		Dst:     pkt.Dst, // the addressed head, so only it skips adoption (flat: 0, unchanged)
 		Version: pkt.Version,
 		Payload: payload,
 		Size:    len(payload) + 8,
@@ -997,6 +1250,12 @@ func (s *SCMP) SendData(src topology.NodeID, g packet.GroupID, size int, seq uin
 	}
 	e := s.peekEntry(src, g)
 	if e != nil && e.onTree && e.version>>32 == s.epoch {
+		// Record our own send in the duplicate filter: a forwarding
+		// cycle through a router with a stale (diverged) entry can echo
+		// the packet back here, and without this entry the source would
+		// deliver its own packet to its local hosts. Interior routers
+		// are already covered — their first copy seeds lastSeq.
+		e.lastSeq[src] = seq
 		s.forwardOnTree(src, e, pkt, src /* nothing to exclude: use src itself */)
 		return
 	}
@@ -1046,7 +1305,10 @@ func (s *SCMP) handleData(node topology.NodeID, pkt *netsim.Packet) {
 	e.lastSeq[pkt.Src] = pkt.Seq
 	s.recordTraffic(node, pkt.Group, pkt.Size)
 	s.forwardOnTree(node, e, pkt, pkt.From)
-	if e.hasLocal {
+	// A member source that fell back to encapsulation sees its own
+	// packet come back down the tree: keep forwarding it (a subtree may
+	// hang below us) but never hand a host its own transmission.
+	if e.hasLocal && pkt.Src != node {
 		s.net.DeliverLocal(node, pkt)
 	}
 }

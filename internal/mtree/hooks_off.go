@@ -13,3 +13,7 @@ func treeCheckHook(*Tree) {}
 // dcdmCheckHook is a no-op unless built with -tags invariants, which
 // turns it into treeCheckHook plus the incremental max-UL cross-check.
 func dcdmCheckHook(*DCDM) {}
+
+// hierCheckHook is a no-op unless built with -tags invariants, which
+// turns it into a HierDCDM.Validate call after every composer mutation.
+func hierCheckHook(*HierDCDM) {}

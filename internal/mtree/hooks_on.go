@@ -26,6 +26,15 @@ func treeCheckHook(t *Tree) {
 // cross-check: the lazy-deletion max-UL multiset must agree exactly
 // with a from-scratch rescan of the member set (the historical
 // recomputeMaxUL, retained for this comparison).
+// hierCheckHook re-validates the hierarchical composer's composed/local
+// consistency contract after every HierDCDM mutation (see
+// HierDCDM.Validate).
+func hierCheckHook(h *HierDCDM) {
+	if err := h.Validate(); err != nil {
+		panic("mtree: hierarchical invariant violated: " + err.Error())
+	}
+}
+
 func dcdmCheckHook(d *DCDM) {
 	treeCheckHook(d.tree)
 	if got, want := d.ul.Max(), d.recomputeMaxUL(); got != want {

@@ -64,12 +64,19 @@ const (
 	// SCMP overload protection (churn model): the m-router refuses an
 	// admission-controlled JOIN and tells the requester when to retry.
 	Nack
+
+	// SCMP hierarchical mode (PROTOCOL.md §13): a domain m-router asks
+	// the group's core m-router to install a newly realized inter-domain
+	// splice. The payload is the BRANCH encoding of the full install
+	// path (last already-on-tree node through the border to the first
+	// member), and the core answers by distributing it as a BRANCH.
+	Graft
 )
 
 // NumKinds is the number of defined packet kinds. Kind values are dense
 // from 0, so hot-path per-kind counters can live in fixed-size arrays
 // indexed by Kind instead of maps (internal/metrics).
-const NumKinds = int(Nack) + 1
+const NumKinds = int(Graft) + 1
 
 var kindNames = map[Kind]string{
 	Data: "DATA", EncapData: "ENCAP-DATA",
@@ -79,7 +86,7 @@ var kindNames = map[Kind]string{
 	DvmrpPrune: "DVMRP-PRUNE", DvmrpGraft: "DVMRP-GRAFT",
 	GroupLSA: "GROUP-LSA",
 	CbtJoin:  "CBT-JOIN", CbtJoinAck: "CBT-JOIN-ACK", CbtQuit: "CBT-QUIT",
-	Nack: "NACK",
+	Nack: "NACK", Graft: "GRAFT",
 }
 
 func (k Kind) String() string {
@@ -360,6 +367,21 @@ func DecodeBranch(b []byte) ([]topology.NodeID, error) {
 	}
 	return path, nil
 }
+
+// --- REPLICATE payload (§V hot standby) ---------------------------------
+//
+// A REPLICATE snapshot carries a group's full member set from the
+// primary m-router to the hot standby, in the same count|addr_1|...
+// layout as BRANCH. Snapshots (rather than join/leave deltas) keep
+// replication idempotent: a retransmitted or superseded copy can never
+// roll the replica back, so the reliable-signalling machinery can carry
+// it over a lossy control channel.
+
+// EncodeMembers renders a member-set snapshot payload.
+func EncodeMembers(members []topology.NodeID) []byte { return EncodeBranch(members) }
+
+// DecodeMembers parses a member-set snapshot payload.
+func DecodeMembers(b []byte) ([]topology.NodeID, error) { return DecodeBranch(b) }
 
 // --- ACK packet encoding (fault model) ---------------------------------
 //

@@ -245,6 +245,17 @@ func (ap *AllPairs) Materialized() int {
 	return m
 }
 
+// MemoryBytes estimates the resident size of the materialised rows:
+// each Paths row carries three float64 slices and one NodeID slice of
+// the graph's length plus fixed header overhead. Lazy tables only pay
+// for rows actually consulted — the figure the domains experiment
+// reports as resident routing-table memory.
+func (ap *AllPairs) MemoryBytes() int64 {
+	n := int64(len(ap.rows))
+	perRow := 32*n + 96 // 3 x []float64 + 1 x []NodeID payload, plus struct/slice headers
+	return int64(ap.Materialized()) * perRow
+}
+
 // PathDelay sums link delays along a node sequence; it panics if the
 // sequence is not a path in g.
 func PathDelay(g *Graph, path []NodeID) float64 {

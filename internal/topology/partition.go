@@ -2,6 +2,7 @@ package topology
 
 import (
 	"math"
+	"sort"
 
 	"scmp/internal/rng"
 )
@@ -72,6 +73,68 @@ func Partition(g *Graph, k int, seed int64) []int32 {
 		}
 	}
 	copy(part, owner)
+	return part
+}
+
+// PartitionByDomain maps a domain labelling (TransitStubInfo.Domain, or
+// any labelling a DomainView would accept) onto k simulator parts, so
+// the partitioned parallel DES shards along the same boundaries the
+// hierarchical routing mode uses. With k >= the number of domains each
+// domain keeps its own part (part index = domain id); with fewer parts
+// domains are bin-packed greedily — largest node count first, ties to
+// the lower domain id, each placed on the currently lightest part (ties
+// to the lower part index) — a pure function of (labels, k). Domain
+// labels group delay-coherent regions (intra-domain links are short,
+// border links long), so the resulting MinCrossDelay — the conservative
+// lookahead — is the minimum *border* link delay, typically far longer
+// than a Voronoi cut's.
+func PartitionByDomain(domain []int, k int) []int32 {
+	part := make([]int32, len(domain))
+	if k <= 1 {
+		return part
+	}
+	nd := 0
+	for _, d := range domain {
+		if d+1 > nd {
+			nd = d + 1
+		}
+	}
+	if k >= nd {
+		for v, d := range domain {
+			part[v] = int32(d)
+		}
+		return part
+	}
+	size := make([]int, nd)
+	for _, d := range domain {
+		size[d]++
+	}
+	order := make([]int, nd)
+	for d := range order {
+		order[d] = d
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if size[a] != size[b] {
+			return size[a] > size[b]
+		}
+		return a < b
+	})
+	load := make([]int, k)
+	assign := make([]int32, nd)
+	for _, d := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		assign[d] = int32(best)
+		load[best] += size[d]
+	}
+	for v, d := range domain {
+		part[v] = assign[d]
+	}
 	return part
 }
 

@@ -83,6 +83,91 @@ func TestPartitionClampsAndSerial(t *testing.T) {
 	}
 }
 
+// TestPartitionByDomainTransitStub checks the domain-aligned sharding
+// on the hierarchical topology it exists for: with enough parts every
+// domain keeps its own shard and the conservative lookahead is exactly
+// the shortest *border* link; with fewer parts domains are bin-packed
+// whole — never split — so the lookahead can only grow coarser, not
+// finer than a domain boundary.
+func TestPartitionByDomainTransitStub(t *testing.T) {
+	g, info, err := TransitStub(DefaultTransitStub(), rng.New(19))
+	if err != nil {
+		t.Fatalf("TransitStub: %v", err)
+	}
+	nd := 0
+	for _, d := range info.Domain {
+		if d+1 > nd {
+			nd = d + 1
+		}
+	}
+
+	// k >= domain count: the identity sharding, one domain per part.
+	part := PartitionByDomain(info.Domain, nd)
+	for v, d := range info.Domain {
+		if part[v] != int32(d) {
+			t.Fatalf("k=nd: node %d in part %d, want its domain %d", v, part[v], d)
+		}
+	}
+	// The lookahead is the true minimum over domain-crossing links.
+	want := math.Inf(1)
+	intra := math.Inf(1)
+	c := g.CSR()
+	for u := 0; u < c.N(); u++ {
+		lo, hi := c.Row(NodeID(u))
+		for a := lo; a < hi; a++ {
+			if info.Domain[c.ArcDst(a)] != info.Domain[u] {
+				want = math.Min(want, c.ArcDelay(a))
+			} else {
+				intra = math.Min(intra, c.ArcDelay(a))
+			}
+		}
+	}
+	got := MinCrossDelay(g, part)
+	if got != want {
+		t.Fatalf("MinCrossDelay = %v, min border-link delay = %v", got, want)
+	}
+	// The point of domain-aligned sharding: border links are long, so
+	// the lookahead beats the shortest link a blind cut could expose.
+	if !(got > intra) {
+		t.Fatalf("border lookahead %v not above the shortest intra-domain link %v", got, intra)
+	}
+
+	// k < domain count: domains are bin-packed whole onto the parts.
+	for _, k := range []int{2, 4, 8} {
+		packed := PartitionByDomain(info.Domain, k)
+		domPart := make(map[int]int32, nd)
+		sizes := make([]int, k)
+		for v, d := range info.Domain {
+			p := packed[v]
+			if p < 0 || int(p) >= k {
+				t.Fatalf("k=%d: node %d assigned out-of-range part %d", k, v, p)
+			}
+			if prev, ok := domPart[d]; ok && prev != p {
+				t.Fatalf("k=%d: domain %d split across parts %d and %d", k, d, prev, p)
+			}
+			domPart[d] = p
+			sizes[p]++
+		}
+		for p, sz := range sizes {
+			if sz == 0 {
+				t.Fatalf("k=%d: part %d is empty", k, p)
+			}
+		}
+		// Whole-domain packing ⇒ every crossing is a domain crossing ⇒
+		// the lookahead is at least the border minimum.
+		if l := MinCrossDelay(g, packed); l < want {
+			t.Fatalf("k=%d: lookahead %v below the border minimum %v", k, l, want)
+		}
+	}
+
+	// k=1 is the serial all-zero assignment.
+	for _, p := range PartitionByDomain(info.Domain, 1) {
+		if p != 0 {
+			t.Fatal("k=1 must be the all-zero serial assignment")
+		}
+	}
+}
+
 func TestMinCrossDelay(t *testing.T) {
 	g := partitionTestGraph(t)
 	part := Partition(g, 4, 7)
